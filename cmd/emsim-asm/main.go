@@ -1,0 +1,72 @@
+// Command emsim-asm assembles RV32IM source into a flat binary image.
+//
+// Usage:
+//
+//	emsim-asm [-hex] [-o out.bin] prog.s
+//
+// With -hex the image is printed as one 32-bit word per line; otherwise a
+// little-endian flat binary is written to -o (default: stdout as hex).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"emsim/internal/asm"
+)
+
+func main() {
+	hex := flag.Bool("hex", false, "print one hex word per line instead of writing a binary")
+	dis := flag.Bool("d", false, "print a disassembly listing instead of writing a binary")
+	out := flag.String("o", "", "output file for the flat binary image")
+	syms := flag.Bool("symbols", false, "also print the symbol table to stderr")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: emsim-asm [-hex] [-d] [-symbols] [-o out.bin] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *syms {
+		names := make([]string, 0, len(prog.Symbols))
+		for n := range prog.Symbols {
+			names = append(names, n)
+		}
+		sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+		for _, n := range names {
+			fmt.Fprintf(os.Stderr, "%08x %s\n", prog.Symbols[n], n)
+		}
+	}
+	switch {
+	case *dis:
+		fmt.Print(asm.Disassemble(prog.Origin, prog.Words))
+	case *hex || *out == "":
+		for i, w := range prog.Words {
+			fmt.Printf("%08x: %08x\n", prog.Origin+uint32(4*i), w)
+		}
+	default:
+		buf := make([]byte, 4*len(prog.Words))
+		for i, w := range prog.Words {
+			binary.LittleEndian.PutUint32(buf[4*i:], w)
+		}
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes (origin %#x) to %s\n", len(buf), prog.Origin, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emsim-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// aes-tvla reproduces the paper's §VI-A use-case: assess the EM leakage of
+// AES-128 with the TVLA fixed-vs-random methodology, once from real
+// (device) measurements and once from purely simulated signals, and show
+// that the simulated assessment finds the same leakage pattern — meaning a
+// software developer could run this at design time without a lab.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"emsim"
+)
+
+func main() {
+	dev := emsim.NewDevice(emsim.DefaultDeviceOptions())
+	fmt.Println("training the model...")
+	model, err := emsim.Train(dev, emsim.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	var fixed [16]byte
+	copy(fixed[:], "tvla-fixed-input")
+
+	// Real source: noisy captures from the device.
+	realSrc := func(input [16]byte) ([]float64, error) {
+		prog, err := emsim.BuildAES(key, input)
+		if err != nil {
+			return nil, err
+		}
+		_, sig, err := dev.Capture(prog.Words)
+		return sig, err
+	}
+	// Simulated source: the model's signal plus the same noise level, so
+	// the t statistics are comparable.
+	noise := rand.New(rand.NewSource(99))
+	noiseStd := dev.Options().NoiseStd
+	cfg := dev.Options().CPU
+	simSrc := func(input [16]byte) ([]float64, error) {
+		prog, err := emsim.BuildAES(key, input)
+		if err != nil {
+			return nil, err
+		}
+		_, sig, err := model.SimulateProgram(cfg, prog.Words)
+		if err != nil {
+			return nil, err
+		}
+		for i := range sig {
+			sig[i] += noiseStd * noise.NormFloat64()
+		}
+		return sig, nil
+	}
+
+	const traces = 40
+	fmt.Printf("running TVLA with %d traces per group...\n\n", traces)
+	realRes, err := emsim.TVLA(realSrc, fixed, rand.New(rand.NewSource(1)), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simRes, err := emsim.TVLA(simSrc, fixed, rand.New(rand.NewSource(2)), traces)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report := func(name string, r *emsim.TVLAResult) {
+		verdict := "PASSES (no leakage found)"
+		if r.Leaks() {
+			verdict = fmt.Sprintf("FAILS: %d samples above |t|=4.5", len(r.LeakyPoints))
+		}
+		fmt.Printf("%-10s max|t| = %6.1f  -> %s\n", name, r.MaxAbsT, verdict)
+	}
+	report("measured:", realRes)
+	report("simulated:", simRes)
+
+	fmt.Println("\nAES-128 with table lookups leaks heavily under both assessments —")
+	fmt.Println("and the simulated one needed no oscilloscope, probe, or board.")
+}

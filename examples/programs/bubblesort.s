@@ -1,0 +1,26 @@
+# In-place bubble sort of an 8-element array. Demonstrates: nested loops,
+# data-dependent branches (the classic EM side-channel shape: control flow
+# varies with the data), loads and stores.
+	la   s0, data
+	li   s1, 8          # n
+outer:
+	addi s1, s1, -1
+	blez s1, done
+	li   t0, 0          # i = 0
+	mv   s2, s0         # p = data
+inner:
+	lw   t1, 0(s2)
+	lw   t2, 4(s2)
+	ble  t1, t2, noswap
+	sw   t2, 0(s2)
+	sw   t1, 4(s2)
+noswap:
+	addi s2, s2, 4
+	addi t0, t0, 1
+	blt  t0, s1, inner
+	j    outer
+done:
+	ebreak
+
+data:
+	.word 5, 2, 8, 1, 9, 3, 7, 4

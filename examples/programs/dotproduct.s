@@ -1,0 +1,25 @@
+# Dot product of two 8-element vectors, result stored at `result`.
+# Demonstrates: loops, loads (hits after the first touch), MAC with MUL.
+	la   s0, veca
+	la   s1, vecb
+	li   t0, 8          # element count
+	li   t1, 0          # accumulator
+loop:
+	lw   t2, 0(s0)
+	lw   t3, 0(s1)
+	mul  t4, t2, t3
+	add  t1, t1, t4
+	addi s0, s0, 4
+	addi s1, s1, 4
+	addi t0, t0, -1
+	bnez t0, loop
+	la   t5, result
+	sw   t1, 0(t5)
+	ebreak
+
+veca:
+	.word 1, 2, 3, 4, 5, 6, 7, 8
+vecb:
+	.word 8, 7, 6, 5, 4, 3, 2, 1
+result:
+	.word 0

@@ -1,0 +1,15 @@
+# Iterative Fibonacci: F(16) into `result`. Straight ALU pipeline flow.
+	li   t0, 16
+	li   t1, 0          # F(0)
+	li   t2, 1          # F(1)
+fib:
+	add  t3, t1, t2
+	mv   t1, t2
+	mv   t2, t3
+	addi t0, t0, -1
+	bnez t0, fib
+	la   t4, result
+	sw   t1, 0(t4)
+	ebreak
+result:
+	.word 0

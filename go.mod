@@ -1,0 +1,3 @@
+module emsim
+
+go 1.22

@@ -1,0 +1,272 @@
+// Package aes generates an AES-128 encryption program in RV32IM assembly
+// for the simulated core — the workload of the paper's TVLA use-case
+// (§VI-A, Figure 10). The implementation is a straightforward software
+// AES with an in-memory S-box (the classic table lookups whose
+// data-dependent EM activity TVLA detects), verified against crypto/aes.
+package aes
+
+import (
+	"crypto/aes"
+	"fmt"
+
+	"emsim/internal/asm"
+	"emsim/internal/isa"
+)
+
+// sbox is the AES forward substitution box.
+var sbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+
+// ExpandKey computes the 176-byte AES-128 key schedule.
+func ExpandKey(key [16]byte) [176]byte {
+	var rk [176]byte
+	copy(rk[:16], key[:])
+	for i := 4; i < 44; i++ {
+		var temp [4]byte
+		copy(temp[:], rk[4*(i-1):4*i])
+		if i%4 == 0 {
+			temp[0], temp[1], temp[2], temp[3] = temp[1], temp[2], temp[3], temp[0]
+			for j := range temp {
+				temp[j] = sbox[temp[j]]
+			}
+			temp[0] ^= rcon[i/4]
+		}
+		for j := 0; j < 4; j++ {
+			rk[4*i+j] = rk[4*(i-4)+j] ^ temp[j]
+		}
+	}
+	return rk
+}
+
+// Reference encrypts one block with the standard library, for validating
+// the generated program.
+func Reference(key, plaintext [16]byte) [16]byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic(err) // 16-byte keys cannot fail
+	}
+	var out [16]byte
+	block.Encrypt(out[:], plaintext[:])
+	return out
+}
+
+// leWord packs 4 bytes little-endian, which on the little-endian core
+// makes byte 0 (AES row 0) the least significant byte of a column word.
+func leWord(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// Program is a generated AES-128 encryption image.
+type Program struct {
+	// Words is the binary image (code + data), loaded at address 0.
+	Words []uint32
+	// InputAddr, OutputAddr locate the 16-byte plaintext and ciphertext
+	// buffers inside the image.
+	InputAddr, OutputAddr uint32
+}
+
+// Output extracts the ciphertext from a memory reader after the program
+// has run.
+func (p *Program) Output(readWord func(uint32) uint32) [16]byte {
+	var out [16]byte
+	for c := 0; c < 4; c++ {
+		w := readWord(p.OutputAddr + uint32(4*c))
+		out[4*c+0] = byte(w)
+		out[4*c+1] = byte(w >> 8)
+		out[4*c+2] = byte(w >> 16)
+		out[4*c+3] = byte(w >> 24)
+	}
+	return out
+}
+
+// Registers used by the generated code.
+const (
+	regSbox = isa.S0 // S-box base
+	regRK   = isa.S1 // round-key pointer
+	regRnd  = isa.S2 // round counter
+	colA    = isa.A0 // state column 0
+	colB    = isa.A1
+	colC    = isa.A2
+	colD    = isa.A3
+	outA    = isa.A4 // post-SubBytes/ShiftRows columns
+	outB    = isa.A5
+	outC    = isa.A6
+	outD    = isa.A7
+)
+
+var stateCols = [4]isa.Reg{colA, colB, colC, colD}
+var shiftedCols = [4]isa.Reg{outA, outB, outC, outD}
+
+// BuildProgram generates the encryption program for one (key, plaintext)
+// pair. Round keys are precomputed into the data section (the key
+// schedule runs "offline", as in the paper's measurement setup); the code
+// performs AddRoundKey, 9 full rounds (SubBytes+ShiftRows in registers
+// via S-box loads, MixColumns with the xtime word trick, AddRoundKey) and
+// the final round, then stores the ciphertext and halts.
+func BuildProgram(key, plaintext [16]byte) (*Program, error) {
+	rk := ExpandKey(key)
+	b := asm.NewBuilder()
+
+	// --- code ---
+	b.La(regSbox, "sbox")
+	b.La(regRK, "roundkeys")
+	b.La(isa.T0, "input")
+	for c := 0; c < 4; c++ {
+		b.I(isa.Lw(stateCols[c], isa.T0, int32(4*c)))
+	}
+	// AddRoundKey 0.
+	addRoundKey(b)
+	// 9 full rounds.
+	b.I(isa.Addi(regRnd, isa.Zero, 9))
+	b.Label("round")
+	subShift(b)
+	mixColumns(b)
+	addRoundKey(b)
+	b.I(isa.Addi(regRnd, regRnd, -1))
+	b.Branch(isa.BNE, regRnd, isa.Zero, "round")
+	// Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+	subShift(b)
+	for c := 0; c < 4; c++ {
+		b.I(isa.Mv(stateCols[c], shiftedCols[c]))
+	}
+	addRoundKey(b)
+	// Store the ciphertext.
+	b.La(isa.T0, "output")
+	for c := 0; c < 4; c++ {
+		b.I(isa.Sw(stateCols[c], isa.T0, int32(4*c)))
+	}
+	b.I(isa.Ebreak())
+
+	// --- data ---
+	b.Label("input")
+	for c := 0; c < 4; c++ {
+		b.Word(leWord(plaintext[4*c : 4*c+4]))
+	}
+	b.Label("output")
+	b.Words(0, 0, 0, 0)
+	b.Label("roundkeys")
+	for i := 0; i < 44; i++ {
+		b.Word(leWord(rk[4*i : 4*i+4]))
+	}
+	b.Label("sbox")
+	for i := 0; i < 256; i += 4 {
+		b.Word(leWord(sbox[i : i+4]))
+	}
+
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, fmt.Errorf("aes: %w", err)
+	}
+	return &Program{
+		Words:      p.Words,
+		InputAddr:  p.Symbols["input"],
+		OutputAddr: p.Symbols["output"],
+	}, nil
+}
+
+// addRoundKey XORs the four round-key words at regRK into the state and
+// advances the pointer.
+func addRoundKey(b *asm.Builder) {
+	for c := 0; c < 4; c++ {
+		b.I(isa.Lw(isa.T1, regRK, int32(4*c)))
+		b.I(isa.Xor(stateCols[c], stateCols[c], isa.T1))
+	}
+	b.I(isa.Addi(regRK, regRK, 16))
+}
+
+// subShift computes SubBytes∘ShiftRows from stateCols into shiftedCols:
+// out[r][c] = S(in[r][(c+r) mod 4]), with row r living at bits 8r of each
+// column word.
+func subShift(b *asm.Builder) {
+	for c := 0; c < 4; c++ {
+		dst := shiftedCols[c]
+		first := true
+		for r := 0; r < 4; r++ {
+			src := stateCols[(c+r)%4]
+			// t1 = (src >> 8r) & 0xff
+			if r == 0 {
+				b.I(isa.Andi(isa.T1, src, 0xff))
+			} else {
+				b.I(isa.Srli(isa.T1, src, int32(8*r)))
+				if r < 3 {
+					b.I(isa.Andi(isa.T1, isa.T1, 0xff))
+				}
+			}
+			// t1 = sbox[t1]
+			b.I(isa.Add(isa.T2, regSbox, isa.T1))
+			b.I(isa.Lbu(isa.T1, isa.T2, 0))
+			if r > 0 {
+				b.I(isa.Slli(isa.T1, isa.T1, int32(8*r)))
+			}
+			if first {
+				b.I(isa.Mv(dst, isa.T1))
+				first = false
+			} else {
+				b.I(isa.Or(dst, dst, isa.T1))
+			}
+		}
+	}
+}
+
+// mixColumns applies the MixColumns matrix to each shifted column using
+// the word-sliced formulation
+//
+//	out = xtime(w) ⊕ ror8(w ⊕ xtime(w)) ⊕ ror16(w) ⊕ ror24(w)
+//
+// where xtime doubles each byte in GF(2⁸) and rorN rotates the word right
+// by N bits (moving row r+1 into row r).
+func mixColumns(b *asm.Builder) {
+	// Constants for the byte-sliced xtime.
+	b.I(isa.Li(isa.T3, -0x01010102)...) // 0xfefefefe
+	b.I(isa.Li(isa.T4, 0x01010101)...)
+	b.I(isa.Li(isa.T5, 0x1b)...)
+	for c := 0; c < 4; c++ {
+		w := shiftedCols[c]
+		// t1 = xtime(w) = ((w << 1) & 0xfefefefe) ^ (((w >> 7) & 0x01010101) * 0x1b)
+		b.I(isa.Slli(isa.T1, w, 1))
+		b.I(isa.And(isa.T1, isa.T1, isa.T3))
+		b.I(isa.Srli(isa.T2, w, 7))
+		b.I(isa.And(isa.T2, isa.T2, isa.T4))
+		b.I(isa.Mul(isa.T2, isa.T2, isa.T5))
+		b.I(isa.Xor(isa.T1, isa.T1, isa.T2))
+		// t2 = ror8(w ^ t1)
+		b.I(isa.Xor(isa.T2, w, isa.T1))
+		ror(b, isa.T2, isa.T2, 8)
+		b.I(isa.Xor(isa.T1, isa.T1, isa.T2))
+		// ^ ror16(w)
+		ror(b, isa.T2, w, 16)
+		b.I(isa.Xor(isa.T1, isa.T1, isa.T2))
+		// ^ ror24(w)
+		ror(b, isa.T2, w, 24)
+		b.I(isa.Xor(stateCols[c], isa.T1, isa.T2))
+	}
+}
+
+// ror emits dst = src rotated right by n bits (n in 1..31), clobbering T6.
+func ror(b *asm.Builder, dst, src isa.Reg, n int32) {
+	b.I(isa.Srli(isa.T6, src, n))
+	b.I(isa.Slli(dst, src, 32-n))
+	b.I(isa.Or(dst, dst, isa.T6))
+}
+
+// SBox returns the AES forward S-box substitution of b, for building
+// leakage hypotheses (e.g. CPA on the first-round S-box output).
+func SBox(b byte) byte { return sbox[b] }

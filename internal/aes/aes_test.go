@@ -1,0 +1,123 @@
+package aes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"emsim/internal/cpu"
+)
+
+func runAES(t *testing.T, key, pt [16]byte) [16]byte {
+	t.Helper()
+	prog, err := BuildProgram(key, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.MustNew(cpu.DefaultConfig())
+	if _, err := c.RunProgram(prog.Words); err != nil {
+		t.Fatal(err)
+	}
+	return prog.Output(c.Memory().ReadWord)
+}
+
+func TestExpandKeyFIPSVector(t *testing.T) {
+	// FIPS-197 Appendix A.1 key schedule for 2b7e1516...
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	rk := ExpandKey(key)
+	// w4 = a0fafe17, w43 = b6630ca6.
+	if got := []byte{rk[16], rk[17], rk[18], rk[19]}; !bytes.Equal(got, []byte{0xa0, 0xfa, 0xfe, 0x17}) {
+		t.Errorf("w4 = %x", got)
+	}
+	if got := rk[172:176]; !bytes.Equal(got, []byte{0xb6, 0x63, 0x0c, 0xa6}) {
+		t.Errorf("w43 = %x", got)
+	}
+}
+
+func TestAESMatchesFIPSVector(t *testing.T) {
+	// FIPS-197 Appendix B.
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := [16]byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	if got := Reference(key, pt); got != want {
+		t.Fatalf("stdlib reference mismatch: %x", got)
+	}
+	if got := runAES(t, key, pt); got != want {
+		t.Errorf("simulated AES = %x, want %x", got, want)
+	}
+}
+
+func TestAESMatchesReferenceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		var key, pt [16]byte
+		r.Read(key[:])
+		r.Read(pt[:])
+		want := Reference(key, pt)
+		if got := runAES(t, key, pt); got != want {
+			t.Fatalf("trial %d: simulated %x, want %x (key %x, pt %x)", trial, got, want, key, pt)
+		}
+	}
+}
+
+func TestAESProgramProperties(t *testing.T) {
+	var key, pt [16]byte
+	prog, err := BuildProgram(key, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.InputAddr == 0 || prog.OutputAddr == 0 {
+		t.Error("data addresses not resolved")
+	}
+	if len(prog.Words) < 200 {
+		t.Errorf("program suspiciously small: %d words", len(prog.Words))
+	}
+	c := cpu.MustNew(cpu.DefaultConfig())
+	if _, err := c.RunProgram(prog.Words); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Retired < 1000 {
+		t.Errorf("AES retired only %d instructions", st.Retired)
+	}
+	t.Logf("AES-128: %d cycles, %d retired, IPC %.2f, %d cache misses, %d mispredicts",
+		st.Cycles, st.Retired, st.IPC(), st.CacheMisses, st.Mispredicts)
+}
+
+func TestAESDifferentInputsDifferentCiphertext(t *testing.T) {
+	var key, p1, p2 [16]byte
+	p2[0] = 1
+	c1 := runAES(t, key, p1)
+	c2 := runAES(t, key, p2)
+	if c1 == c2 {
+		t.Error("distinct plaintexts produced identical ciphertext")
+	}
+}
+
+func BenchmarkAESSimulated(b *testing.B) {
+	var key, pt [16]byte
+	prog, err := BuildProgram(key, pt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cpu.MustNew(cpu.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunProgram(prog.Words); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAESBuildProgram(b *testing.B) {
+	var key, pt [16]byte
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProgram(key, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package asm provides a two-pass RV32IM assembler and a programmatic
+// Builder for constructing programs with labels. The experiment harness
+// uses the Builder to generate microbenchmarks (the paper's 7⁵ combination
+// groups, SAVAT A/B alternations, AES-128) and the text assembler to load
+// hand-written programs in cmd/emsim.
+package asm
+
+import (
+	"fmt"
+
+	"emsim/internal/isa"
+)
+
+// fixupKind says how a label's address patches an instruction.
+type fixupKind int
+
+const (
+	fixNone   fixupKind = iota
+	fixBranch           // PC-relative B-type offset
+	fixJump             // PC-relative J-type offset
+	fixHi               // %hi(label) for LUI (with low-part rounding)
+	fixLo               // %lo(label) for ADDI/load/store offsets
+	fixAbs              // absolute address into a .word
+)
+
+type item struct {
+	inst  isa.Inst
+	data  bool   // raw data word instead of instruction
+	word  uint32 // data value when data is true
+	fix   fixupKind
+	label string
+	line  int // 1-based source line for diagnostics (0 for Builder items)
+}
+
+// Program is an assembled binary image.
+type Program struct {
+	// Words is the binary image, one 32-bit word per entry, based at
+	// Origin.
+	Words []uint32
+	// Origin is the load address of Words[0].
+	Origin uint32
+	// Symbols maps each label to its absolute address.
+	Symbols map[string]uint32
+}
+
+// Size returns the image size in bytes.
+func (p *Program) Size() int { return 4 * len(p.Words) }
+
+// Builder accumulates instructions, labels and data and resolves label
+// references at Assemble time.
+type Builder struct {
+	origin uint32
+	items  []item
+	labels map[string]int // label -> item index it precedes
+	errs   []error
+}
+
+// NewBuilder returns an empty Builder with origin 0.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// SetOrigin sets the image load address. It must be called before any
+// instruction is added and must be word-aligned.
+func (b *Builder) SetOrigin(addr uint32) *Builder {
+	if len(b.items) > 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: SetOrigin after code was added"))
+	}
+	if addr%4 != 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: origin %#x not word-aligned", addr))
+	}
+	b.origin = addr
+	return b
+}
+
+// Label defines a label at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if name == "" {
+		b.errs = append(b.errs, fmt.Errorf("asm: empty label"))
+		return b
+	}
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = len(b.items)
+	return b
+}
+
+// I appends one or more concrete instructions.
+func (b *Builder) I(insts ...isa.Inst) *Builder {
+	for _, in := range insts {
+		b.items = append(b.items, item{inst: in})
+	}
+	return b
+}
+
+// Nop appends n NOPs.
+func (b *Builder) Nop(n int) *Builder {
+	for i := 0; i < n; i++ {
+		b.I(isa.Nop())
+	}
+	return b
+}
+
+// Branch appends a conditional branch to a label.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 isa.Reg, label string) *Builder {
+	if !op.IsBranch() {
+		b.errs = append(b.errs, fmt.Errorf("asm: Branch with non-branch op %v", op))
+		return b
+	}
+	b.items = append(b.items, item{
+		inst:  isa.Inst{Op: op, Rs1: rs1, Rs2: rs2},
+		fix:   fixBranch,
+		label: label,
+	})
+	return b
+}
+
+// Jal appends a jump-and-link to a label.
+func (b *Builder) Jal(rd isa.Reg, label string) *Builder {
+	b.items = append(b.items, item{
+		inst:  isa.Inst{Op: isa.JAL, Rd: rd},
+		fix:   fixJump,
+		label: label,
+	})
+	return b
+}
+
+// La appends the two-instruction absolute-address materialization
+// (lui+addi) for a label.
+func (b *Builder) La(rd isa.Reg, label string) *Builder {
+	b.items = append(b.items,
+		item{inst: isa.Inst{Op: isa.LUI, Rd: rd}, fix: fixHi, label: label},
+		item{inst: isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: rd}, fix: fixLo, label: label},
+	)
+	return b
+}
+
+// Li appends the shortest load-immediate sequence for v.
+func (b *Builder) Li(rd isa.Reg, v int32) *Builder { return b.I(isa.Li(rd, v)...) }
+
+// Word appends a raw data word.
+func (b *Builder) Word(v uint32) *Builder {
+	b.items = append(b.items, item{data: true, word: v})
+	return b
+}
+
+// Words appends raw data words.
+func (b *Builder) Words(vs ...uint32) *Builder {
+	for _, v := range vs {
+		b.Word(v)
+	}
+	return b
+}
+
+// WordAddr appends a data word holding a label's absolute address.
+func (b *Builder) WordAddr(label string) *Builder {
+	b.items = append(b.items, item{data: true, fix: fixAbs, label: label})
+	return b
+}
+
+// Len returns the current image length in words.
+func (b *Builder) Len() int { return len(b.items) }
+
+// hiLo splits an absolute address into the LUI/ADDI pair used by la: the
+// high part is rounded so the sign-extended low part recombines exactly.
+func hiLo(addr uint32) (hi, lo int32) {
+	hi = int32(addr+0x800) >> 12
+	lo = int32(addr) - hi<<12
+	return hi & 0xFFFFF, lo
+}
+
+// Assemble resolves labels and encodes the image.
+func (b *Builder) Assemble() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	symbols := make(map[string]uint32, len(b.labels))
+	for name, idx := range b.labels {
+		symbols[name] = b.origin + 4*uint32(idx)
+	}
+	words := make([]uint32, len(b.items))
+	for i, it := range b.items {
+		addr := b.origin + 4*uint32(i)
+		if it.fix != fixNone {
+			target, ok := symbols[it.label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined label %q%s", it.label, lineRef(it.line))
+			}
+			switch it.fix {
+			case fixBranch, fixJump:
+				it.inst.Imm = int32(target) - int32(addr)
+			case fixHi:
+				hi, _ := hiLo(target)
+				it.inst.Imm = hi
+			case fixLo:
+				_, lo := hiLo(target)
+				it.inst.Imm = lo
+			case fixAbs:
+				it.word = target
+			}
+		}
+		if it.data {
+			words[i] = it.word
+			continue
+		}
+		w, err := isa.Encode(it.inst)
+		if err != nil {
+			return nil, fmt.Errorf("asm: at %#x%s: %w", addr, lineRef(it.line), err)
+		}
+		words[i] = w
+	}
+	return &Program{Words: words, Origin: b.origin, Symbols: symbols}, nil
+}
+
+// MustAssemble is Assemble for known-good programs; it panics on error.
+func (b *Builder) MustAssemble() *Program {
+	p, err := b.Assemble()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func lineRef(line int) string {
+	if line == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (line %d)", line)
+}

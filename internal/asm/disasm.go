@@ -1,0 +1,40 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"emsim/internal/isa"
+)
+
+// DisassembleWord renders one instruction word at the given address in
+// assembler syntax, resolving PC-relative targets to absolute addresses.
+// Undecodable words render as ".word 0x…".
+func DisassembleWord(addr, word uint32) string {
+	in, err := isa.Decode(word)
+	if err != nil {
+		return fmt.Sprintf(".word 0x%08x", word)
+	}
+	switch {
+	case in.IsNOP():
+		return "nop"
+	case in.Op.IsBranch():
+		// Offsets are what the assembler accepts back; the resolved
+		// absolute target rides along as a comment.
+		return fmt.Sprintf("%s %s, %s, %d  # -> 0x%x", in.Op, in.Rs1, in.Rs2, in.Imm, addr+uint32(in.Imm))
+	case in.Op == isa.JAL:
+		return fmt.Sprintf("%s %s, %d  # -> 0x%x", in.Op, in.Rd, in.Imm, addr+uint32(in.Imm))
+	default:
+		return in.String()
+	}
+}
+
+// Disassemble renders a whole image as an address-annotated listing.
+func Disassemble(origin uint32, words []uint32) string {
+	var b strings.Builder
+	for i, w := range words {
+		addr := origin + uint32(4*i)
+		fmt.Fprintf(&b, "%08x:  %08x  %s\n", addr, w, DisassembleWord(addr, w))
+	}
+	return b.String()
+}

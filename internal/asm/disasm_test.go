@@ -1,0 +1,153 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+func TestDisassembleWord(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		inst isa.Inst
+		want string
+	}{
+		{0, isa.Nop(), "nop"},
+		{0, isa.Add(isa.T0, isa.T1, isa.T2), "add t0, t1, t2"},
+		{0x100, isa.Beq(isa.T0, isa.T1, 16), "beq t0, t1, 16  # -> 0x110"},
+		{0x100, isa.Beq(isa.T0, isa.T1, -16), "beq t0, t1, -16  # -> 0xf0"},
+		{0x200, isa.Jal(isa.RA, 0x40), "jal ra, 64  # -> 0x240"},
+		{0, isa.Lw(isa.A0, isa.SP, 8), "lw a0, 8(sp)"},
+	}
+	for _, tc := range cases {
+		got := DisassembleWord(tc.addr, isa.MustEncode(tc.inst))
+		if got != tc.want {
+			t.Errorf("DisassembleWord(%#x, %v) = %q, want %q", tc.addr, tc.inst, got, tc.want)
+		}
+	}
+	if got := DisassembleWord(0, 0xFFFFFFFF); got != ".word 0xffffffff" {
+		t.Errorf("bad word disassembled as %q", got)
+	}
+}
+
+func TestDisassembleListing(t *testing.T) {
+	p := MustAssembleText(`
+		.org 0x100
+		addi t0, zero, 5
+		ebreak
+	`)
+	out := Disassemble(p.Origin, p.Words)
+	if !strings.Contains(out, "00000100:") {
+		t.Errorf("listing missing origin address:\n%s", out)
+	}
+	if !strings.Contains(out, "addi t0, zero, 5") {
+		t.Errorf("listing missing instruction:\n%s", out)
+	}
+	if !strings.Contains(out, "ebreak") {
+		t.Errorf("listing missing ebreak:\n%s", out)
+	}
+}
+
+// TestExamplePrograms assembles and executes every shipped .s file and
+// checks their documented results.
+func TestExamplePrograms(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "programs")
+	runFile := func(name string) (*cpu.CPU, *Program) {
+		t.Helper()
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := Assemble(string(src))
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", name, err)
+		}
+		c := cpu.MustNew(cpu.DefaultConfig())
+		c.LoadProgram(p.Origin, p.Words)
+		if _, err := c.Run(); err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		return c, p
+	}
+
+	t.Run("dotproduct", func(t *testing.T) {
+		c, p := runFile("dotproduct.s")
+		// 1*8+2*7+3*6+4*5+5*4+6*3+7*2+8*1 = 120
+		if got := c.Memory().ReadWord(p.Symbols["result"]); got != 120 {
+			t.Errorf("dot product = %d, want 120", got)
+		}
+	})
+	t.Run("bubblesort", func(t *testing.T) {
+		c, p := runFile("bubblesort.s")
+		base := p.Symbols["data"]
+		want := []uint32{1, 2, 3, 4, 5, 7, 8, 9}
+		for i, w := range want {
+			if got := c.Memory().ReadWord(base + uint32(4*i)); got != w {
+				t.Errorf("sorted[%d] = %d, want %d", i, got, w)
+			}
+		}
+	})
+	t.Run("fibonacci", func(t *testing.T) {
+		c, p := runFile("fibonacci.s")
+		if got := c.Memory().ReadWord(p.Symbols["result"]); got != 987 {
+			t.Errorf("F(16) = %d, want 987", got)
+		}
+	})
+}
+
+func TestDisassembleRoundTripsExamplePrograms(t *testing.T) {
+	// Every decodable instruction in the example images must disassemble
+	// to text that re-assembles to an equivalent word.
+	dir := filepath.Join("..", "..", "examples", "programs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Assemble(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		for i, w := range p.Words {
+			addr := p.Origin + uint32(4*i)
+			text := DisassembleWord(addr, w)
+			if strings.HasPrefix(text, ".word") {
+				continue // data
+			}
+			// Re-assemble the single line at the same address so PC-
+			// relative targets resolve identically.
+			re, err := Assemble(".org " + hex(addr) + "\n" + text + "\n")
+			if err != nil {
+				t.Errorf("%s@%#x: %q does not re-assemble: %v", e.Name(), addr, text, err)
+				continue
+			}
+			in1, err1 := isa.Decode(w)
+			in2, err2 := isa.Decode(re.Words[0])
+			if err1 != nil || err2 != nil || in1 != in2 {
+				t.Errorf("%s@%#x: %q: %v != %v", e.Name(), addr, text, in1, in2)
+			}
+		}
+	}
+}
+
+func hex(v uint32) string {
+	const digits = "0123456789abcdef"
+	out := []byte{'0', 'x'}
+	started := false
+	for shift := 28; shift >= 0; shift -= 4 {
+		d := (v >> uint(shift)) & 0xF
+		if d != 0 || started || shift == 0 {
+			out = append(out, digits[d])
+			started = true
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,300 @@
+// Package bpred implements the branch prediction unit of the simulated
+// processor: a branch target buffer plus several direction predictors. The
+// paper's core uses a 2-level adaptive predictor (Yeh–Patt) with a BTB; the
+// paper additionally compares always-not-taken and gshare and finds no
+// statistically significant EM difference between them (§IV), which the
+// experiment harness reproduces.
+package bpred
+
+import "fmt"
+
+// Predictor predicts conditional branch directions and learns from
+// resolved outcomes.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint32) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc uint32, taken bool)
+	// Reset restores the power-on state.
+	Reset()
+	// Name identifies the predictor in experiment output.
+	Name() string
+}
+
+// counter is a 2-bit saturating counter; values 2 and 3 predict taken.
+type counter uint8
+
+func (c counter) taken() bool { return c >= 2 }
+
+func (c counter) update(taken bool) counter {
+	if taken {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// NotTaken is the trivial always-not-taken predictor.
+type NotTaken struct{}
+
+// NewNotTaken returns an always-not-taken predictor.
+func NewNotTaken() *NotTaken { return &NotTaken{} }
+
+// Predict always returns false.
+func (*NotTaken) Predict(uint32) bool { return false }
+
+// Update is a no-op.
+func (*NotTaken) Update(uint32, bool) {}
+
+// Reset is a no-op.
+func (*NotTaken) Reset() {}
+
+// Name returns "not-taken".
+func (*NotTaken) Name() string { return "not-taken" }
+
+// Bimodal is a classic table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	table []counter
+	mask  uint32
+}
+
+// NewBimodal returns a bimodal predictor with 2^indexBits counters.
+func NewBimodal(indexBits uint) *Bimodal {
+	n := uint32(1) << indexBits
+	return &Bimodal{table: make([]counter, n), mask: n - 1}
+}
+
+func (b *Bimodal) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Predict returns the counter's direction for pc.
+func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.idx(pc)].taken() }
+
+// Update trains the counter for pc.
+func (b *Bimodal) Update(pc uint32, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = b.table[i].update(taken)
+}
+
+// Reset clears all counters to strongly-not-taken.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 0
+	}
+}
+
+// Name returns "bimodal".
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// TwoLevel is the Yeh–Patt two-level adaptive predictor used in the paper's
+// core: a per-branch history register selects a pattern-table counter.
+type TwoLevel struct {
+	historyBits uint
+	histories   []uint32 // first level: per-branch history registers
+	pattern     []counter
+	histMask    uint32
+	idxMask     uint32
+}
+
+// NewTwoLevel returns a two-level predictor with 2^indexBits history
+// registers of historyBits bits each, and a shared pattern table of
+// 2^historyBits counters.
+func NewTwoLevel(indexBits, historyBits uint) *TwoLevel {
+	if historyBits == 0 || historyBits > 20 {
+		panic(fmt.Sprintf("bpred: history bits %d out of range", historyBits))
+	}
+	return &TwoLevel{
+		historyBits: historyBits,
+		histories:   make([]uint32, 1<<indexBits),
+		pattern:     make([]counter, 1<<historyBits),
+		histMask:    1<<historyBits - 1,
+		idxMask:     1<<indexBits - 1,
+	}
+}
+
+func (p *TwoLevel) histIdx(pc uint32) uint32 { return (pc >> 2) & p.idxMask }
+
+// Predict consults the pattern entry selected by the branch's history.
+func (p *TwoLevel) Predict(pc uint32) bool {
+	h := p.histories[p.histIdx(pc)]
+	return p.pattern[h].taken()
+}
+
+// Update trains the pattern entry and shifts the outcome into the branch's
+// history register.
+func (p *TwoLevel) Update(pc uint32, taken bool) {
+	hi := p.histIdx(pc)
+	h := p.histories[hi]
+	p.pattern[h] = p.pattern[h].update(taken)
+	h = (h << 1) & p.histMask
+	if taken {
+		h |= 1
+	}
+	p.histories[hi] = h
+}
+
+// Reset clears histories and counters.
+func (p *TwoLevel) Reset() {
+	for i := range p.histories {
+		p.histories[i] = 0
+	}
+	for i := range p.pattern {
+		p.pattern[i] = 0
+	}
+}
+
+// Name returns "two-level".
+func (p *TwoLevel) Name() string { return "two-level" }
+
+// GShare XORs a global history register with the PC to index a counter
+// table.
+type GShare struct {
+	history uint32
+	bits    uint
+	table   []counter
+	mask    uint32
+}
+
+// NewGShare returns a gshare predictor with 2^bits counters and a bits-wide
+// global history register.
+func NewGShare(bits uint) *GShare {
+	return &GShare{bits: bits, table: make([]counter, 1<<bits), mask: 1<<bits - 1}
+}
+
+func (g *GShare) idx(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
+
+// Predict returns the gshare direction for pc.
+func (g *GShare) Predict(pc uint32) bool { return g.table[g.idx(pc)].taken() }
+
+// Update trains the indexed counter and shifts the global history.
+func (g *GShare) Update(pc uint32, taken bool) {
+	i := g.idx(pc)
+	g.table[i] = g.table[i].update(taken)
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// Reset clears the table and the history register.
+func (g *GShare) Reset() {
+	g.history = 0
+	for i := range g.table {
+		g.table[i] = 0
+	}
+}
+
+// Name returns "gshare".
+func (g *GShare) Name() string { return "gshare" }
+
+// BTB is a direct-mapped branch target buffer mapping a branch PC to its
+// most recent target.
+type BTB struct {
+	tags    []uint32
+	targets []uint32
+	valid   []bool
+	mask    uint32
+}
+
+// NewBTB returns a BTB with 2^indexBits entries.
+func NewBTB(indexBits uint) *BTB {
+	n := uint32(1) << indexBits
+	return &BTB{
+		tags:    make([]uint32, n),
+		targets: make([]uint32, n),
+		valid:   make([]bool, n),
+		mask:    n - 1,
+	}
+}
+
+func (b *BTB) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
+
+// Lookup returns the cached target for pc, if any.
+func (b *BTB) Lookup(pc uint32) (target uint32, ok bool) {
+	i := b.idx(pc)
+	if b.valid[i] && b.tags[i] == pc {
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Insert records pc -> target.
+func (b *BTB) Insert(pc, target uint32) {
+	i := b.idx(pc)
+	b.tags[i] = pc
+	b.targets[i] = target
+	b.valid[i] = true
+}
+
+// Reset invalidates every entry.
+func (b *BTB) Reset() {
+	for i := range b.valid {
+		b.valid[i] = false
+	}
+}
+
+// Unit bundles a direction predictor with a BTB, the composition the
+// paper's fetch stage consults every cycle.
+type Unit struct {
+	Dir Predictor
+	BTB *BTB
+
+	lookups, mispredicts uint64
+}
+
+// NewUnit returns a prediction unit around the given direction predictor
+// with a 2^btbBits-entry BTB.
+func NewUnit(dir Predictor, btbBits uint) *Unit {
+	return &Unit{Dir: dir, BTB: NewBTB(btbBits)}
+}
+
+// DefaultUnit returns the paper's configuration: 2-level predictor with a
+// BTB.
+func DefaultUnit() *Unit {
+	return NewUnit(NewTwoLevel(10, 8), 9)
+}
+
+// PredictNext returns the predicted next PC for the (possible) branch at
+// pc. A taken prediction without a BTB hit falls back to not-taken, since
+// the target is unknown at fetch time.
+func (u *Unit) PredictNext(pc uint32) (next uint32, predictedTaken bool) {
+	u.lookups++
+	if u.Dir.Predict(pc) {
+		if target, ok := u.BTB.Lookup(pc); ok {
+			return target, true
+		}
+	}
+	return pc + 4, false
+}
+
+// Resolve trains the unit with the actual branch outcome and returns
+// whether the earlier prediction was wrong.
+func (u *Unit) Resolve(pc uint32, taken bool, target uint32, predictedTaken bool, predictedNext uint32) (mispredicted bool) {
+	u.Dir.Update(pc, taken)
+	if taken {
+		u.BTB.Insert(pc, target)
+	}
+	actualNext := pc + 4
+	if taken {
+		actualNext = target
+	}
+	if predictedNext != actualNext {
+		u.mispredicts++
+		return true
+	}
+	return false
+}
+
+// Stats returns the number of predictions made and mispredictions detected.
+func (u *Unit) Stats() (lookups, mispredicts uint64) { return u.lookups, u.mispredicts }
+
+// Reset restores power-on state, including statistics.
+func (u *Unit) Reset() {
+	u.Dir.Reset()
+	u.BTB.Reset()
+	u.lookups, u.mispredicts = 0, 0
+}

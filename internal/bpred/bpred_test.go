@@ -1,0 +1,273 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCounterSaturation(t *testing.T) {
+	c := counter(0)
+	for i := 0; i < 10; i++ {
+		c = c.update(false)
+	}
+	if c != 0 {
+		t.Errorf("counter underflowed to %d", c)
+	}
+	for i := 0; i < 10; i++ {
+		c = c.update(true)
+	}
+	if c != 3 {
+		t.Errorf("counter did not saturate at 3, got %d", c)
+	}
+	if !c.taken() {
+		t.Error("saturated counter should predict taken")
+	}
+}
+
+func TestNotTaken(t *testing.T) {
+	p := NewNotTaken()
+	p.Update(0x100, true)
+	p.Update(0x100, true)
+	if p.Predict(0x100) {
+		t.Error("not-taken predictor predicted taken")
+	}
+	if p.Name() != "not-taken" {
+		t.Error("bad name")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	p := NewBimodal(8)
+	pc := uint32(0x400)
+	for i := 0; i < 4; i++ {
+		p.Update(pc, true)
+	}
+	if !p.Predict(pc) {
+		t.Error("bimodal did not learn always-taken")
+	}
+	// A different PC (different index) is unaffected.
+	if p.Predict(pc + 4) {
+		t.Error("bimodal leaked state across PCs")
+	}
+	p.Reset()
+	if p.Predict(pc) {
+		t.Error("Reset did not clear bias")
+	}
+}
+
+func TestTwoLevelLearnsAlternatingPattern(t *testing.T) {
+	// A strictly alternating branch (T,N,T,N,...) defeats a bimodal
+	// predictor but is perfectly learnable by a 2-level predictor.
+	p := NewTwoLevel(6, 4)
+	pc := uint32(0x800)
+	taken := false
+	// Train.
+	for i := 0; i < 200; i++ {
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	// Evaluate.
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if p.Predict(pc) == taken {
+			correct++
+		}
+		p.Update(pc, taken)
+		taken = !taken
+	}
+	if correct < 95 {
+		t.Errorf("two-level only got %d/100 on alternating pattern", correct)
+	}
+}
+
+func TestTwoLevelPanicsOnBadHistory(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 0 history bits")
+		}
+	}()
+	NewTwoLevel(4, 0)
+}
+
+func TestGShareLearnsCorrelatedBranches(t *testing.T) {
+	// Branch B's outcome equals branch A's outcome: global history makes
+	// this learnable.
+	g := NewGShare(10)
+	r := rand.New(rand.NewSource(7))
+	pcA, pcB := uint32(0x1000), uint32(0x1010)
+	correct, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		a := r.Intn(2) == 0
+		g.Update(pcA, a)
+		pred := g.Predict(pcB)
+		if i > 500 {
+			total++
+			if pred == a {
+				correct++
+			}
+		}
+		g.Update(pcB, a)
+	}
+	if float64(correct)/float64(total) < 0.9 {
+		t.Errorf("gshare accuracy %d/%d on correlated branches", correct, total)
+	}
+}
+
+func TestPredictorResets(t *testing.T) {
+	preds := []Predictor{NewBimodal(6), NewTwoLevel(6, 6), NewGShare(8)}
+	for _, p := range preds {
+		pc := uint32(0x2000)
+		// Enough updates for history-based predictors to saturate their
+		// history registers and then train the repeated pattern entry.
+		for i := 0; i < 20; i++ {
+			p.Update(pc, true)
+		}
+		if !p.Predict(pc) {
+			t.Errorf("%s did not learn taken", p.Name())
+		}
+		p.Reset()
+		if p.Predict(pc) {
+			t.Errorf("%s predicts taken after Reset", p.Name())
+		}
+	}
+}
+
+func TestBTBLookupInsert(t *testing.T) {
+	b := NewBTB(6)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Fatal("empty BTB hit")
+	}
+	b.Insert(0x100, 0x2000)
+	target, ok := b.Lookup(0x100)
+	if !ok || target != 0x2000 {
+		t.Errorf("Lookup = %#x,%v", target, ok)
+	}
+	// Aliasing PC (same index, different tag) must miss.
+	alias := uint32(0x100 + 4*64)
+	if _, ok := b.Lookup(alias); ok {
+		t.Error("aliased PC hit in direct-mapped BTB")
+	}
+	// Inserting the alias evicts the original.
+	b.Insert(alias, 0x3000)
+	if _, ok := b.Lookup(0x100); ok {
+		t.Error("evicted entry still present")
+	}
+	b.Reset()
+	if _, ok := b.Lookup(alias); ok {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestUnitPredictsFallThroughWithoutBTB(t *testing.T) {
+	u := DefaultUnit()
+	pc := uint32(0x400)
+	// Train direction to taken, but the BTB is empty: must fall through.
+	for i := 0; i < 4; i++ {
+		u.Dir.Update(pc, true)
+	}
+	next, taken := u.PredictNext(pc)
+	if taken || next != pc+4 {
+		t.Errorf("PredictNext = %#x,%v; want fall-through without BTB entry", next, taken)
+	}
+}
+
+func TestUnitResolveDetectsMisprediction(t *testing.T) {
+	u := DefaultUnit()
+	pc, target := uint32(0x500), uint32(0x1500)
+
+	next, ptaken := u.PredictNext(pc)
+	if mis := u.Resolve(pc, true, target, ptaken, next); !mis {
+		t.Error("taken branch with not-taken prediction should mispredict")
+	}
+	// After training, prediction should go to the target and be correct.
+	// The two-level predictor walks a fresh pattern entry each update until
+	// its 8-bit history saturates, so train past that point.
+	for i := 0; i < 12; i++ {
+		n, pt := u.PredictNext(pc)
+		u.Resolve(pc, true, target, pt, n)
+	}
+	next, ptaken = u.PredictNext(pc)
+	if !ptaken || next != target {
+		t.Errorf("trained PredictNext = %#x,%v; want %#x,true", next, ptaken, target)
+	}
+	if mis := u.Resolve(pc, true, target, ptaken, next); mis {
+		t.Error("correct prediction flagged as misprediction")
+	}
+	lookups, mispredicts := u.Stats()
+	if lookups == 0 || mispredicts == 0 {
+		t.Errorf("stats = %d/%d; both should be nonzero", lookups, mispredicts)
+	}
+}
+
+func TestUnitNotTakenCorrectPrediction(t *testing.T) {
+	u := NewUnit(NewNotTaken(), 4)
+	pc := uint32(0x600)
+	next, pt := u.PredictNext(pc)
+	if mis := u.Resolve(pc, false, 0, pt, next); mis {
+		t.Error("not-taken branch predicted not-taken should be correct")
+	}
+}
+
+func TestUnitReset(t *testing.T) {
+	u := DefaultUnit()
+	pc := uint32(0x700)
+	for i := 0; i < 4; i++ {
+		n, pt := u.PredictNext(pc)
+		u.Resolve(pc, true, 0x900, pt, n)
+	}
+	u.Reset()
+	if l, m := u.Stats(); l != 0 || m != 0 {
+		t.Error("stats survived Reset")
+	}
+	next, taken := u.PredictNext(pc)
+	if taken || next != pc+4 {
+		t.Error("training survived Reset")
+	}
+}
+
+// TestPredictorAccuracyOnLoop mimics the paper's loop microbenchmarks: a
+// loop branch taken N-1 times then not taken, repeated. The 2-level
+// predictor should beat bimodal on short loops.
+func TestPredictorAccuracyOnLoop(t *testing.T) {
+	run := func(p Predictor, loopLen, iters int) float64 {
+		pc := uint32(0x100)
+		correct, total := 0, 0
+		for i := 0; i < iters; i++ {
+			for j := 0; j < loopLen; j++ {
+				taken := j != loopLen-1
+				if p.Predict(pc) == taken {
+					correct++
+				}
+				total++
+				p.Update(pc, taken)
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	two := run(NewTwoLevel(6, 8), 4, 200)
+	bi := run(NewBimodal(6), 4, 200)
+	if two < 0.95 {
+		t.Errorf("two-level accuracy %.2f on loop-4, want >= 0.95", two)
+	}
+	if two <= bi {
+		t.Errorf("two-level (%.2f) should beat bimodal (%.2f) on short loops", two, bi)
+	}
+}
+
+func BenchmarkTwoLevelPredictUpdate(b *testing.B) {
+	p := NewTwoLevel(10, 8)
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i*4) & 0xFFFF
+		taken := p.Predict(pc)
+		p.Update(pc, !taken)
+	}
+}
+
+func BenchmarkUnitPredictResolve(b *testing.B) {
+	u := DefaultUnit()
+	for i := 0; i < b.N; i++ {
+		pc := uint32(i*4) & 0xFFF
+		n, pt := u.PredictNext(pc)
+		u.Resolve(pc, i&3 != 0, pc+16, pt, n)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+// Signal attribution — the capability the paper's abstract promises:
+// "it allows simulated signals to be broken down and attributed to
+// specific parts of the hardware and software" (§VIII). Given a trace,
+// the trained model splits each cycle's predicted amplitude into its
+// per-stage source terms and charges them to the pipeline stage
+// (hardware attribution) and to the instruction occupying it (software
+// attribution).
+
+// InstAttribution aggregates one static instruction's contribution to
+// the simulated signal across all its dynamic occurrences.
+type InstAttribution struct {
+	// PC is the instruction's address; Inst its decoding.
+	PC   uint32
+	Inst isa.Inst
+	// Executions counts dynamic fetches of the instruction, including
+	// wrong-path fetches that were later flushed (their brief pipeline
+	// occupancy emits too); Cycles is the total unstalled occupancy.
+	Executions, Cycles int
+	// Total is the summed |M_s·u_s| the instruction generated; Peak the
+	// largest single-cycle stage contribution.
+	Total, Peak float64
+}
+
+// Mean returns the instruction's average per-cycle contribution.
+func (a *InstAttribution) Mean() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return a.Total / float64(a.Cycles)
+}
+
+// Attribution is a full signal breakdown for one program run.
+type Attribution struct {
+	// StageShare[s] is pipeline stage s's fraction of the summed
+	// absolute source contributions — which hardware is the strongest
+	// emitter (the question §VIII poses for hardware designers).
+	StageShare [cpu.NumStages]float64
+	// Background is the model's ambient level (not attributable to any
+	// stage).
+	Background float64
+	// Instructions lists per-instruction contributions, strongest first
+	// — which code is the strongest emitter (the software question).
+	Instructions []InstAttribution
+	// TotalAbs is the denominator of StageShare.
+	TotalAbs float64
+}
+
+// Attribute breaks the model's predicted signal for a trace down by
+// pipeline stage and by instruction.
+func (m *Model) Attribute(tr cpu.Trace) *Attribution {
+	att := &Attribution{Background: m.MISOIntercept}
+	perInst := map[uint32]*InstAttribution{}
+	executed := map[uint32]map[int]bool{} // pc -> seq set (execution count)
+
+	// One pass over the fetch records maps sequence numbers to PCs
+	// (IF latch word 0 holds the fetch PC).
+	seqPC := map[int]uint32{}
+	for i := range tr {
+		st := &tr[i].Stages[cpu.IF]
+		if !st.Bubble && st.Seq >= 0 {
+			seqPC[st.Seq] = st.Latch[0]
+		}
+	}
+
+	for i := range tr {
+		c := &tr[i]
+		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+			st := &c.Stages[s]
+			contrib := math.Abs(m.MISO[s] * m.stageSource(s, st))
+			att.StageShare[s] += contrib
+			att.TotalAbs += contrib
+			if st.Bubble || st.Stalled || st.Seq < 0 {
+				continue
+			}
+			pc, ok := seqPC[st.Seq]
+			if !ok {
+				continue
+			}
+			ia := perInst[pc]
+			if ia == nil {
+				ia = &InstAttribution{PC: pc, Inst: st.Inst}
+				perInst[pc] = ia
+				executed[pc] = map[int]bool{}
+			}
+			ia.Cycles++
+			ia.Total += contrib
+			if contrib > ia.Peak {
+				ia.Peak = contrib
+			}
+			executed[pc][st.Seq] = true
+		}
+	}
+	if att.TotalAbs > 0 {
+		for s := range att.StageShare {
+			att.StageShare[s] /= att.TotalAbs
+		}
+	}
+	for pc, ia := range perInst {
+		ia.Executions = len(executed[pc])
+		att.Instructions = append(att.Instructions, *ia)
+	}
+	sort.Slice(att.Instructions, func(a, b int) bool {
+		return att.Instructions[a].Total > att.Instructions[b].Total
+	})
+	return att
+}
+
+// Report renders the attribution as a table: the per-stage hardware
+// shares followed by the top-k emitting instructions.
+func (a *Attribution) Report(topK int) string {
+	var b strings.Builder
+	b.WriteString("signal attribution by pipeline stage:\n")
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		fmt.Fprintf(&b, "  %-4s %5.1f%%  %s\n", s, 100*a.StageShare[s], bar(a.StageShare[s]))
+	}
+	fmt.Fprintf(&b, "top emitting instructions (of %d):\n", len(a.Instructions))
+	if topK > len(a.Instructions) {
+		topK = len(a.Instructions)
+	}
+	for i := 0; i < topK; i++ {
+		ia := &a.Instructions[i]
+		fmt.Fprintf(&b, "  %08x  %-24s total %7.2f  mean/cycle %5.2f  fetched x%d\n",
+			ia.PC, ia.Inst.String(), ia.Total, ia.Mean(), ia.Executions)
+	}
+	return b.String()
+}
+
+func bar(frac float64) string {
+	n := int(frac*40 + 0.5)
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emsim/internal/asm"
+	"emsim/internal/isa"
+)
+
+// This file generates the §V-A validation microbenchmark: programs that
+// jointly cover all 7⁵ = 16807 possible pipeline occupancy combinations
+// of the seven Table I clusters, split into groups of 1024 combinations
+// (≈5120 instructions each, 17 groups), with random operands and a
+// variant drawing from the full ISA instead of only the representatives.
+
+// NumCombinations is 7^5, the pipeline occupancy space of §V-A.
+const NumCombinations = 16807
+
+// CombosPerGroup matches the paper's grouping (1024 combinations,
+// ≈5120 instructions per group; 17 groups cover all combinations).
+const CombosPerGroup = 1024
+
+// NumGroups is ⌈16807 / 1024⌉ = 17.
+const NumGroups = (NumCombinations + CombosPerGroup - 1) / CombosPerGroup
+
+const (
+	// benchScratch must clear the largest group image (~28 KB of code).
+	benchScratch = 0x10000 // warm scratch region (cache-hit loads/stores)
+	benchFar     = 0x80000 // miss region start
+)
+
+// clusterEmitter writes one instruction of the given cluster with random
+// operands into the builder.
+type clusterEmitter struct {
+	rng      *rand.Rand
+	fullISA  bool // draw any member instead of the representative
+	missOff  int32
+	seedRegs []isa.Reg
+}
+
+func newClusterEmitter(rng *rand.Rand, fullISA bool) *clusterEmitter {
+	return &clusterEmitter{
+		rng:      rng,
+		fullISA:  fullISA,
+		seedRegs: []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.A0, isa.A1, isa.A2},
+	}
+}
+
+// prologue seeds the operand registers and the scratch pointers and warms
+// the hit region.
+func (ce *clusterEmitter) prologue(b *asm.Builder) {
+	for _, r := range ce.seedRegs {
+		b.Li(r, int32(ce.rng.Uint32()))
+	}
+	b.Li(isa.S0, benchScratch)
+	b.Li(isa.S1, benchFar)
+	b.I(isa.Lw(isa.T5, isa.S0, 0)) // warm the hit line
+	b.Nop(4)
+}
+
+func (ce *clusterEmitter) reg() isa.Reg {
+	return ce.seedRegs[ce.rng.Intn(len(ce.seedRegs))]
+}
+
+// pick returns the mnemonic used for a cluster occurrence: the
+// representative, or (fullISA) a random member.
+func (ce *clusterEmitter) pick(c isa.Cluster) isa.Op {
+	if !ce.fullISA {
+		return isa.Representatives()[c]
+	}
+	members := isa.ClusterMembers(c)
+	// Exclude control-transfer ALU members (JAL/JALR) and U-types with
+	// special operand shapes from the random draw; they are covered by
+	// the Branch cluster's control-flow behaviour and by LUI/AUIPC below.
+	for {
+		op := members[ce.rng.Intn(len(members))]
+		switch op {
+		case isa.JAL, isa.JALR:
+			continue
+		}
+		return op
+	}
+}
+
+// emit appends one instruction of cluster c (possibly with a helper
+// instruction for memory/branch plumbing, which the paper's generator
+// also needs for its loops and addresses).
+func (ce *clusterEmitter) emit(b *asm.Builder, c isa.Cluster) {
+	op := ce.pick(c)
+	switch c {
+	case isa.ClusterALU, isa.ClusterShift, isa.ClusterMulDiv:
+		switch op.Format() {
+		case isa.FormatR:
+			b.I(isa.Inst{Op: op, Rd: ce.reg(), Rs1: ce.reg(), Rs2: ce.reg()})
+		case isa.FormatU:
+			b.I(isa.Inst{Op: op, Rd: ce.reg(), Imm: int32(ce.rng.Intn(1 << 20))})
+		default: // I-type ALU / shifts
+			imm := int32(ce.rng.Intn(4096) - 2048)
+			switch op {
+			case isa.SLLI, isa.SRLI, isa.SRAI:
+				imm = int32(ce.rng.Intn(32))
+			}
+			b.I(isa.Inst{Op: op, Rd: ce.reg(), Rs1: ce.reg(), Imm: imm})
+		}
+	case isa.ClusterStore:
+		b.I(isa.Inst{Op: op, Rs1: isa.S0, Rs2: ce.reg(), Imm: int32(4 * ce.rng.Intn(8))})
+	case isa.ClusterCache:
+		b.I(isa.Inst{Op: op, Rd: ce.reg(), Rs1: isa.S0, Imm: int32(4 * ce.rng.Intn(8))})
+	case isa.ClusterLoad:
+		b.I(isa.Inst{Op: op, Rd: ce.reg(), Rs1: isa.S1, Imm: ce.missOff})
+		ce.missOff += 64
+		if ce.missOff > 1984 {
+			ce.missOff = 0
+			b.I(isa.Addi(isa.S1, isa.S1, 2047), isa.Addi(isa.S1, isa.S1, 1))
+		}
+	case isa.ClusterBranch:
+		// Mostly-forward branches with random operands; some are taken,
+		// producing the mispredictions and flushes the benchmark must
+		// cover.
+		b.I(isa.Inst{Op: op, Rs1: ce.reg(), Rs2: ce.reg(), Imm: 8})
+		b.I(isa.Addi(ce.reg(), ce.reg(), 1))
+	}
+}
+
+// CombinationGroup builds benchmark group g (0 ≤ g < NumGroups): the
+// instruction stream whose consecutive windows realize combinations
+// g·1024 … g·1024+1023 of the 7⁵ space. Each combination contributes its
+// five cluster digits in sequence, so across a group every combination's
+// five clusters appear together in flight.
+func CombinationGroup(g int, rng *rand.Rand, fullISA bool) ([]uint32, error) {
+	if g < 0 || g >= NumGroups {
+		return nil, fmt.Errorf("experiments: group %d out of range [0,%d)", g, NumGroups)
+	}
+	b := asm.NewBuilder()
+	ce := newClusterEmitter(rng, fullISA)
+	ce.prologue(b)
+	lo := g * CombosPerGroup
+	hi := lo + CombosPerGroup
+	if hi > NumCombinations {
+		hi = NumCombinations
+	}
+	for combo := lo; combo < hi; combo++ {
+		// Decompose the combination index into its five base-7 cluster
+		// digits and emit them back to back.
+		x := combo
+		for d := 0; d < 5; d++ {
+			ce.emit(b, isa.Cluster(x%7))
+			x /= 7
+		}
+	}
+	b.I(isa.Ebreak())
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	return p.Words, nil
+}

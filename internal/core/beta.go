@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"emsim/internal/cpu"
+	"emsim/internal/device"
+	"emsim/internal/stats"
+)
+
+// probeFit is the §V-D calibration regression: measured amplitudes at a
+// new probe position against the model's (unscaled) per-stage sources.
+func (m *Model) probeFit(dev *device.Device, words []uint32, runs int) (*stats.RegressionResult, error) {
+	devTrace, sig, err := dev.MeasureAveraged(words, runs)
+	if err != nil {
+		return nil, err
+	}
+	cfg := dev.Options().CPU
+	cfg.BuggyMul = false
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := c.RunProgram(words)
+	if err != nil {
+		return nil, err
+	}
+	if len(tr) != len(devTrace) {
+		return nil, fmt.Errorf("core: probe calibration timing mismatch (%d vs %d cycles)", len(tr), len(devTrace))
+	}
+	amps, err := ExtractAmplitudes(sig, m.SamplesPerCycle, m.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	base := m
+	if base.Beta != nil {
+		base = m.WithBeta([cpu.NumStages]float64{1, 1, 1, 1, 1})
+	}
+	feats := make([][]float64, len(tr))
+	for n := range tr {
+		fv := make([]float64, cpu.NumStages)
+		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+			fv[s] = base.stageSource(s, &tr[n].Stages[s])
+		}
+		feats[n] = fv
+	}
+	fit, err := stats.LinearRegression(feats, amps)
+	if err != nil {
+		return nil, fmt.Errorf("core: probe calibration regression: %w", err)
+	}
+	return fit, nil
+}
+
+// RefitBeta estimates the per-stage loss coefficients β for a probe
+// position other than the one the model was trained at (§V-D): the
+// Equ. 9 regression is re-solved with A replaced by A·β against a short
+// calibration measurement, and the refitted coefficients are divided by
+// the trained ones. Everything else (A, activity weights, kernel) is
+// reused — exactly the paper's point that only β needs adjusting when the
+// probe moves.
+func (m *Model) RefitBeta(dev *device.Device, words []uint32, runs int) ([cpu.NumStages]float64, error) {
+	var beta [cpu.NumStages]float64
+	fit, err := m.probeFit(dev, words, runs)
+	if err != nil {
+		return beta, err
+	}
+	for s := 0; s < cpu.NumStages; s++ {
+		if math.Abs(m.MISO[s]) < 1e-9 {
+			beta[s] = 1
+			continue
+		}
+		beta[s] = fit.Coef[s] / m.MISO[s]
+	}
+	return beta, nil
+}
+
+// AdaptToProbe returns a model copy calibrated for a new probe position:
+// the per-stage β scaling plus the refitted background level (the ambient
+// offset also attenuates with distance). One short calibration program
+// suffices; A, the activity weights and the kernel transfer unchanged.
+func (m *Model) AdaptToProbe(dev *device.Device, words []uint32, runs int) (*Model, [cpu.NumStages]float64, error) {
+	var beta [cpu.NumStages]float64
+	fit, err := m.probeFit(dev, words, runs)
+	if err != nil {
+		return nil, beta, err
+	}
+	for s := 0; s < cpu.NumStages; s++ {
+		if math.Abs(m.MISO[s]) < 1e-9 {
+			beta[s] = 1
+			continue
+		}
+		beta[s] = fit.Coef[s] / m.MISO[s]
+	}
+	adapted := m.WithBeta(beta)
+	adapted.MISOIntercept = fit.Intercept
+	return adapted, beta, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"emsim/internal/signal"
+)
+
+// FitKernel recovers the device's pulse shape from a measured signal of a
+// steady (constant-amplitude) region, reproducing the §II-C model
+// selection: candidate kernels are rendered as periodic pulse trains and
+// scored by normalized correlation against the measured waveform. The
+// grid covers the damped-sinusoid family (Equ. 5); pass KernelRect or
+// KernelExp in `kind` to fit the weaker families of Figure 1.
+func FitKernel(steady []float64, samplesPerCycle int, kind signal.KernelKind) (signal.Kernel, float64, error) {
+	if samplesPerCycle < 2 {
+		return signal.Kernel{}, 0, fmt.Errorf("core: FitKernel needs >= 2 samples/cycle")
+	}
+	cycles := len(steady) / samplesPerCycle
+	if cycles < 4 {
+		return signal.Kernel{}, 0, fmt.Errorf("core: FitKernel needs >= 4 cycles of steady signal (got %d)", cycles)
+	}
+	// Fold the steady region onto one clock period (it is periodic up to
+	// noise) and remove its mean: the shape is what identifies the kernel.
+	folded := make([]float64, samplesPerCycle)
+	for c := 0; c < cycles; c++ {
+		for s := 0; s < samplesPerCycle; s++ {
+			folded[s] += steady[c*samplesPerCycle+s]
+		}
+	}
+	mean := 0.0
+	for i := range folded {
+		folded[i] /= float64(cycles)
+		mean += folded[i]
+	}
+	mean /= float64(len(folded))
+	for i := range folded {
+		folded[i] -= mean
+	}
+
+	// Render a candidate kernel as the same folded periodic waveform.
+	render := func(k signal.Kernel) ([]float64, error) {
+		amps := []float64{1, 1, 1, 1, 1, 1}
+		y, err := signal.Reconstruct(amps, samplesPerCycle, k)
+		if err != nil {
+			return nil, err
+		}
+		// The last cycle is in steady state (all tails included).
+		last := y[(len(amps)-1)*samplesPerCycle:]
+		out := make([]float64, samplesPerCycle)
+		m := 0.0
+		for i := range out {
+			out[i] = last[i]
+			m += last[i]
+		}
+		m /= float64(len(out))
+		for i := range out {
+			out[i] -= m
+		}
+		return out, nil
+	}
+
+	// The steady amplitude's sign is unknown (stage couplings may be
+	// destructive), so the shape match is sign-agnostic: score = |NCC|.
+	score := func(k signal.Kernel) float64 {
+		cand, err := render(k)
+		if err != nil {
+			return -2
+		}
+		ncc, err := signal.NCC(folded, cand)
+		if err != nil {
+			return -2
+		}
+		return math.Abs(ncc)
+	}
+
+	best := signal.Kernel{Kind: kind, SupportCycles: 3}
+	bestScore := -2.0
+	switch kind {
+	case signal.KernelRect:
+		// A rectangular pulse train folds to a constant; there is nothing
+		// to fit. Return it directly with a zero shape score.
+		best.Theta, best.Period = 0, 0
+		return best, 0, nil
+	case signal.KernelExp:
+		for theta := 0.5; theta <= 10; theta += 0.25 {
+			k := signal.Kernel{Kind: kind, Theta: theta, SupportCycles: 3}
+			if sc := score(k); sc > bestScore {
+				best, bestScore = k, sc
+			}
+		}
+	case signal.KernelSinExp:
+		for theta := 1.0; theta <= 8; theta += 0.5 {
+			for period := 0.10; period <= 0.60; period += 0.025 {
+				k := signal.Kernel{Kind: kind, Theta: theta, Period: period, SupportCycles: 3}
+				if sc := score(k); sc > bestScore {
+					best, bestScore = k, sc
+				}
+			}
+		}
+		// Refine around the coarse optimum.
+		coarse := best
+		for theta := coarse.Theta - 0.5; theta <= coarse.Theta+0.5; theta += 0.1 {
+			if theta <= 0 {
+				continue
+			}
+			for period := coarse.Period - 0.025; period <= coarse.Period+0.025; period += 0.005 {
+				if period <= 0 {
+					continue
+				}
+				k := signal.Kernel{Kind: kind, Theta: theta, Period: period, SupportCycles: 3}
+				if sc := score(k); sc > bestScore {
+					best, bestScore = k, sc
+				}
+			}
+		}
+	default:
+		return signal.Kernel{}, 0, fmt.Errorf("core: unknown kernel kind %v", kind)
+	}
+	if bestScore < -1 {
+		return signal.Kernel{}, 0, fmt.Errorf("core: kernel fit failed")
+	}
+	return best, bestScore, nil
+}
+
+// ExtractAmplitudes deconvolves a measured analog signal into per-cycle
+// amplitudes x̂[n] given the reconstruction kernel: each cycle window is
+// matched-filtered against the kernel's first-cycle taps after
+// subtracting the predicted tails of the preceding cycles. This inverts
+// Equ. 6 greedily, cycle by cycle.
+func ExtractAmplitudes(y []float64, samplesPerCycle int, k signal.Kernel) ([]float64, error) {
+	taps, err := k.Taps(samplesPerCycle)
+	if err != nil {
+		return nil, err
+	}
+	cycles := len(y) / samplesPerCycle
+	if cycles == 0 {
+		return nil, fmt.Errorf("core: signal shorter than one cycle")
+	}
+	head := taps[:samplesPerCycle]
+	headEnergy := 0.0
+	for _, t := range head {
+		headEnergy += t * t
+	}
+	if headEnergy == 0 {
+		return nil, fmt.Errorf("core: kernel head has no energy")
+	}
+	out := make([]float64, cycles)
+	buf := make([]float64, samplesPerCycle)
+	for n := 0; n < cycles; n++ {
+		copy(buf, y[n*samplesPerCycle:(n+1)*samplesPerCycle])
+		// Subtract tails of earlier cycles that reach into this window.
+		for back := 1; back*samplesPerCycle < len(taps); back++ {
+			j := n - back
+			if j < 0 {
+				break
+			}
+			tail := taps[back*samplesPerCycle:]
+			lim := samplesPerCycle
+			if lim > len(tail) {
+				lim = len(tail)
+			}
+			for i := 0; i < lim; i++ {
+				buf[i] -= out[j] * tail[i]
+			}
+		}
+		dot := 0.0
+		for i, t := range head {
+			dot += buf[i] * t
+		}
+		out[n] = dot / headEnergy
+	}
+	return out, nil
+}
+
+// steadyRegion selects the central portion of an all-NOP capture for
+// kernel fitting, skipping the pipeline fill and drain transients.
+func steadyRegion(y []float64, samplesPerCycle, skipCycles int) ([]float64, error) {
+	total := len(y) / samplesPerCycle
+	if total <= 2*skipCycles+4 {
+		return nil, fmt.Errorf("core: capture too short for steady region (%d cycles)", total)
+	}
+	return y[skipCycles*samplesPerCycle : (total-skipCycles)*samplesPerCycle], nil
+}
+
+// rmseOf is a small helper for fit diagnostics.
+func rmseOf(a, b []float64) float64 {
+	r, err := signal.RMSE(a, b)
+	if err != nil {
+		return math.NaN()
+	}
+	return r
+}

@@ -1,0 +1,308 @@
+// Package core implements EMSim itself: the trainable
+// multi-input-single-output (MISO) model of §III that predicts the EM
+// side-channel signal of a program cycle by cycle from the
+// microarchitectural trace, plus the microarchitectural-event modeling of
+// §IV (stalls, cache misses, misprediction flushes).
+//
+// The model's life cycle mirrors the paper:
+//
+//  1. Train fits the model against measurements of a Device (the
+//     synthetic stand-in for the paper's FPGA + probe + oscilloscope):
+//     the reconstruction kernel (§II-C), the baseline per-stage
+//     amplitudes A (§III-B), the data-dependent activity weights via
+//     stepwise regression (§III-B), and the per-stage combination
+//     coefficients M (§III-C).
+//  2. Simulate renders the predicted analog signal for any program by
+//     running the model's own cycle-accurate core and applying the
+//     fitted parameters to its trace — no further measurements needed.
+//
+// Ablation switches in ModelOptions reproduce the paper's accuracy-
+// degradation experiments (Figures 2, 3, 5, 6, 7).
+package core
+
+import (
+	"fmt"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+	"emsim/internal/signal"
+)
+
+// ActivityModel selects how data-dependent switching activity scales the
+// baseline amplitudes.
+type ActivityModel int
+
+// The activity-factor variants of Figure 3.
+const (
+	// ActivityLR is the paper's linear-regression model over per-bit
+	// transitions, pruned by stepwise selection (Equ. 8).
+	ActivityLR ActivityModel = iota
+	// ActivityAverage treats every bit flip equally (Equ. 7), the
+	// ablation shown to be inadequate in Figure 3 (bottom).
+	ActivityAverage
+	// ActivityNone ignores data-dependent activity entirely.
+	ActivityNone
+)
+
+func (a ActivityModel) String() string {
+	switch a {
+	case ActivityLR:
+		return "stepwise-LR"
+	case ActivityAverage:
+		return "average"
+	case ActivityNone:
+		return "none"
+	}
+	return "unknown"
+}
+
+// ModelOptions are the simulation-time switches for the paper's ablation
+// studies. The zero value disables everything; use FullModel for the
+// paper's complete model.
+type ModelOptions struct {
+	// PerStageSources models each pipeline stage as an independent EM
+	// source (§III-A). Disabled, the processor is a single source with
+	// stage-averaged amplitudes (Figure 2 bottom).
+	PerStageSources bool
+	// Activity selects the data-dependent activity model (Figure 3).
+	Activity ActivityModel
+	// ModelStalls zeroes the amplitude of stalled stages (§IV,
+	// Figure 5). Disabled, stalled stages emit as if active.
+	ModelStalls bool
+	// ModelCache distinguishes cache hits from misses and keeps the
+	// miss wait cycles quiet (Figure 6). Disabled, every load looks like
+	// a hit and the wait cycles emit as active MEM cycles.
+	ModelCache bool
+	// ModelFlush gives misprediction bubbles their own (squashed-slot)
+	// amplitude class (Figure 7). Disabled, bubbles are assumed to emit
+	// like live NOPs, the pipeline-unaware approximation the paper shows
+	// deviating.
+	ModelFlush bool
+}
+
+// FullModel returns the complete EMSim configuration.
+func FullModel() ModelOptions {
+	return ModelOptions{
+		PerStageSources: true,
+		Activity:        ActivityLR,
+		ModelStalls:     true,
+		ModelCache:      true,
+		ModelFlush:      true,
+	}
+}
+
+// NumAmpKeys is the number of per-stage amplitude classes: the seven
+// Table I clusters, the NOP baseline, and the squashed-bubble class
+// (flush bubbles clock less hardware than a live NOP).
+const NumAmpKeys = isa.NumClusters + 2
+
+// ampKeyNOP and ampKeyBubble index the two baseline amplitude classes.
+const (
+	ampKeyNOP    = isa.NumClusters
+	ampKeyBubble = isa.NumClusters + 1
+)
+
+// AmpKeyName names an amplitude class for reports.
+func AmpKeyName(k int) string {
+	switch k {
+	case ampKeyNOP:
+		return "NOP"
+	case ampKeyBubble:
+		return "bubble"
+	}
+	return isa.Cluster(k).String()
+}
+
+// StageActivityModel is one pipeline stage's fitted data-activity term.
+type StageActivityModel struct {
+	// Selected and Coef describe the stepwise-LR variant: the chosen
+	// transition-bit indices and their weights.
+	Selected []int
+	Coef     []float64
+	// Candidates is the total number of candidate bits (for the pruning
+	// ratio the paper reports).
+	Candidates int
+}
+
+// PrunedFraction returns the share of candidate transition bits the
+// stepwise selection dropped (the paper reports >65 %).
+func (m *StageActivityModel) PrunedFraction() float64 {
+	if m.Candidates == 0 {
+		return 0
+	}
+	return 1 - float64(len(m.Selected))/float64(m.Candidates)
+}
+
+// contribution evaluates the stage's fitted (stepwise-LR) data-activity
+// term for one cycle.
+func (m *StageActivityModel) contribution(st *cpu.StageTrace) float64 {
+	s := 0.0
+	for i, bit := range m.Selected {
+		if st.FlipBit(bit) {
+			s += m.Coef[i]
+		}
+	}
+	return s
+}
+
+// Model is a trained EMSim instance.
+type Model struct {
+	// SamplesPerCycle is the analog rate the model was trained at.
+	SamplesPerCycle int
+	// Kernel is the fitted reconstruction kernel (§II-C).
+	Kernel signal.Kernel
+	// Amp[key][stage] is the fitted baseline amplitude table Â: the
+	// product of the paper's A with the stage coupling/loss absorbed, as
+	// seen from the training probe position.
+	Amp [NumAmpKeys][cpu.NumStages]float64
+	// Background is the fitted ambient offset.
+	Background float64
+	// Activity holds the per-stage data-activity models.
+	Activity [cpu.NumStages]StageActivityModel
+	// MISO is the phase-3 combination fit: X = Intercept + Σ M[s]·u_s.
+	MISOIntercept float64
+	MISO          [cpu.NumStages]float64
+	// SingleM is the single-source ablation's combination coefficient.
+	SingleM         float64
+	SingleIntercept float64
+	// Options are the simulation-time ablation switches.
+	Options ModelOptions
+	// Beta optionally rescales each stage source for a probe position
+	// other than the training one (§V-D). Nil means β = 1.
+	Beta *[cpu.NumStages]float64
+}
+
+// ampKeyFor classifies a stage occupancy into an amplitude key, honoring
+// the cache and flush ablations.
+func (m *Model) ampKeyFor(st *cpu.StageTrace) int {
+	switch {
+	case st.Bubble:
+		if m.Options.ModelFlush {
+			return ampKeyBubble
+		}
+		// Without flush modeling the simulator assumes the squashed
+		// slots behave like the injected NOPs the hardware substitutes —
+		// the pipeline-unaware view the paper shows deviating (Figure 7).
+		return ampKeyNOP
+	case st.Inst.IsNOP():
+		return ampKeyNOP
+	default:
+		cl := st.Cluster()
+		if !m.Options.ModelCache && cl == isa.ClusterLoad {
+			cl = isa.ClusterCache
+		}
+		return int(cl)
+	}
+}
+
+// stageSource computes u_s for one stage of one cycle: the baseline
+// amplitude for the occupant class plus the data-activity term, with
+// stall handling per §IV.
+func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace) float64 {
+	if st.Stalled && m.Options.ModelStalls {
+		// Stalled stages are power-gated (§IV) — unless the cache model
+		// is disabled, in which case a miss's wait cycles in MEM emit as
+		// if the access were still active (the Figure 6 ablation).
+		if m.Options.ModelCache || s != cpu.MEM || !st.CacheAccess {
+			return 0
+		}
+	}
+	key := m.ampKeyFor(st)
+	u := m.Amp[key][s]
+	switch m.Options.Activity {
+	case ActivityLR:
+		u += m.Activity[s].contribution(st)
+	case ActivityAverage:
+		// Equ. 7 verbatim: every flip scales the baseline equally,
+		// with no fitted coefficient — the ablation Figure 3 shows
+		// mispredicting amplitudes.
+		u *= 1 + float64(st.FlipCount())/float64(cpu.FeatureBits(s))
+	}
+	if m.Beta != nil {
+		u *= m.Beta[s]
+	}
+	return u
+}
+
+// CycleAmplitude predicts the per-cycle signal amplitude X[n] (Equ. 9).
+func (m *Model) CycleAmplitude(c *cpu.Cycle) float64 {
+	if m.Options.PerStageSources {
+		x := m.MISOIntercept
+		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+			x += m.MISO[s] * m.stageSource(s, &c.Stages[s])
+		}
+		return x
+	}
+	// Single-source ablation: stage-averaged amplitudes, one coefficient.
+	sum := 0.0
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		st := &c.Stages[s]
+		if st.Stalled && m.Options.ModelStalls {
+			continue
+		}
+		key := m.ampKeyFor(st)
+		avg := 0.0
+		for ss := 0; ss < cpu.NumStages; ss++ {
+			avg += m.Amp[key][ss]
+		}
+		avg /= cpu.NumStages
+		switch m.Options.Activity {
+		case ActivityLR:
+			avg += m.Activity[s].contribution(st)
+		case ActivityAverage:
+			avg *= 1 + float64(st.FlipCount())/float64(cpu.FeatureBits(s))
+		}
+		sum += avg
+	}
+	return m.SingleIntercept + m.SingleM*sum
+}
+
+// Amplitudes predicts the per-cycle amplitude series for a trace.
+func (m *Model) Amplitudes(tr cpu.Trace) []float64 {
+	out := make([]float64, len(tr))
+	for i := range tr {
+		out[i] = m.CycleAmplitude(&tr[i])
+	}
+	return out
+}
+
+// Simulate renders the predicted analog signal for a trace: amplitudes
+// through the fitted kernel (Equ. 6).
+func (m *Model) Simulate(tr cpu.Trace) ([]float64, error) {
+	return signal.Reconstruct(m.Amplitudes(tr), m.SamplesPerCycle, m.Kernel)
+}
+
+// SimulateProgram runs the program on a fresh core with the given
+// configuration and returns the trace plus the predicted analog signal —
+// the design-stage flow of §VI that needs no physical measurement.
+func (m *Model) SimulateProgram(cfg cpu.Config, words []uint32) (cpu.Trace, []float64, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := c.RunProgram(words)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: simulate: %w", err)
+	}
+	y, err := m.Simulate(tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, y, nil
+}
+
+// WithOptions returns a copy of the model with different ablation
+// switches (the fitted parameters are shared).
+func (m *Model) WithOptions(opts ModelOptions) *Model {
+	c := *m
+	c.Options = opts
+	return &c
+}
+
+// WithBeta returns a copy of the model with per-stage loss coefficients
+// applied (the §V-D probe-position adjustment).
+func (m *Model) WithBeta(beta [cpu.NumStages]float64) *Model {
+	c := *m
+	c.Beta = &beta
+	return &c
+}

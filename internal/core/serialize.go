@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"emsim/internal/cpu"
+)
+
+// The paper envisions trained models being shipped "as a library (similar
+// to that of for other properties such as power, timing)" (§V-C): train
+// once per board, distribute the parameters, simulate everywhere. Save
+// and LoadModel implement that with a stable JSON encoding.
+
+// modelFileVersion guards the on-disk format.
+const modelFileVersion = 1
+
+type modelFile struct {
+	Version int    `json:"version"`
+	Model   *Model `json:"model"`
+}
+
+// Save writes the trained model to w as JSON.
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(modelFile{Version: modelFileVersion, Model: m})
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// LoadModel reads a model previously written with Save and validates its
+// invariants.
+func LoadModel(r io.Reader) (*Model, error) {
+	var mf modelFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: model file version %d, want %d", mf.Version, modelFileVersion)
+	}
+	m := mf.Model
+	if m == nil {
+		return nil, fmt.Errorf("core: model file has no model")
+	}
+	if m.SamplesPerCycle < 1 {
+		return nil, fmt.Errorf("core: loaded model has invalid SamplesPerCycle %d", m.SamplesPerCycle)
+	}
+	if _, err := m.Kernel.Taps(m.SamplesPerCycle); err != nil {
+		return nil, fmt.Errorf("core: loaded model has an unusable kernel: %w", err)
+	}
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		am := &m.Activity[s]
+		if len(am.Selected) != len(am.Coef) {
+			return nil, fmt.Errorf("core: stage %v activity model: %d bits vs %d coefficients",
+				s, len(am.Selected), len(am.Coef))
+		}
+		for _, bit := range am.Selected {
+			if bit < 0 || bit >= cpu.FeatureBits(s) {
+				return nil, fmt.Errorf("core: stage %v activity bit %d out of range", s, bit)
+			}
+		}
+	}
+	return m, nil
+}
+
+// LoadModelFile reads a model from path.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}

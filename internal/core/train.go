@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emsim/internal/cpu"
+	"emsim/internal/device"
+	"emsim/internal/linalg"
+	"emsim/internal/signal"
+	"emsim/internal/stats"
+)
+
+// TrainOptions tunes the training campaign.
+type TrainOptions struct {
+	// Runs is the number of averaged measurements per sequence (the
+	// paper uses 1000 oscilloscope captures; our noise floor needs far
+	// fewer). Default 30.
+	Runs int
+	// Seed drives the random operand/program generation. Default 1.
+	Seed int64
+	// InstancesPerCluster is the number of random-operand probes per
+	// cluster in phase 2. Default 40.
+	InstancesPerCluster int
+	// MaxActivityBits caps the stepwise selection size. Default 80.
+	MaxActivityBits int
+	// MixedPrograms and MixedLength size the phase-3 campaign.
+	// Defaults: 3 programs of 500 instructions.
+	MixedPrograms, MixedLength int
+}
+
+func (o *TrainOptions) setDefaults() {
+	if o.Runs == 0 {
+		o.Runs = 30
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.InstancesPerCluster == 0 {
+		o.InstancesPerCluster = 40
+	}
+	if o.MaxActivityBits == 0 {
+		o.MaxActivityBits = 80
+	}
+	if o.MixedPrograms == 0 {
+		o.MixedPrograms = 3
+	}
+	if o.MixedLength == 0 {
+		o.MixedLength = 500
+	}
+}
+
+// measurement is one aligned (model trace, measured amplitudes) pair.
+type measurement struct {
+	trace cpu.Trace
+	amps  []float64 // extracted per-cycle amplitudes
+}
+
+// Trainer fits a Model against a Device. It owns a core configured like
+// the device's (the paper's premise: the microarchitecture is known).
+type Trainer struct {
+	dev  *device.Device
+	cfg  cpu.Config
+	opts TrainOptions
+	core *cpu.CPU
+
+	kernel signal.Kernel
+}
+
+// NewTrainer prepares a training session against dev. The model core is
+// configured identically to the device's core — with the hardware-defect
+// switch cleared, since EMSim simulates the *intended* design (that gap
+// is exactly what the Figure 11 debugging use-case detects).
+func NewTrainer(dev *device.Device, opts TrainOptions) (*Trainer, error) {
+	opts.setDefaults()
+	cfg := dev.Options().CPU
+	cfg.BuggyMul = false
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{dev: dev, cfg: cfg, opts: opts, core: c}, nil
+}
+
+// measure runs one program on the device (averaged over Runs captures),
+// runs the model core on the same program, verifies cycle alignment, and
+// extracts per-cycle amplitudes with the fitted kernel.
+func (t *Trainer) measure(words []uint32) (*measurement, error) {
+	devTrace, y, err := t.dev.MeasureAveraged(words, t.opts.Runs)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := t.core.RunProgram(words)
+	if err != nil {
+		return nil, fmt.Errorf("core: model core failed: %w", err)
+	}
+	if len(tr) != len(devTrace) {
+		return nil, fmt.Errorf("core: model (%d cycles) and device (%d cycles) disagree on timing",
+			len(tr), len(devTrace))
+	}
+	amps, err := ExtractAmplitudes(y, t.dev.SamplesPerCycle(), t.kernel)
+	if err != nil {
+		return nil, err
+	}
+	return &measurement{trace: tr, amps: amps}, nil
+}
+
+// Train runs the full campaign and returns the fitted model.
+func Train(dev *device.Device, opts TrainOptions) (*Model, error) {
+	t, err := NewTrainer(dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		SamplesPerCycle: dev.SamplesPerCycle(),
+		Options:         FullModel(),
+	}
+
+	// ---- Phase 0: kernel fit (§II-C / Figure 1) ----
+	_, nopSig, err := dev.MeasureAveraged(allNOPProgram(64), t.opts.Runs)
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel campaign: %w", err)
+	}
+	steady, err := steadyRegion(nopSig, dev.SamplesPerCycle(), 8)
+	if err != nil {
+		return nil, err
+	}
+	kernel, _, err := FitKernel(steady, dev.SamplesPerCycle(), signal.KernelSinExp)
+	if err != nil {
+		return nil, fmt.Errorf("core: kernel fit: %w", err)
+	}
+	t.kernel = kernel
+	m.Kernel = kernel
+
+	// ---- Phase 1: baseline amplitudes A (§III-B) ----
+	// Isolated NOP→inst→NOP sequences with zero operands establish each
+	// cluster's per-stage footprint; a combination-benchmark group (the
+	// kind of sequence the paper's 16 k-measurement campaign consists of)
+	// provides the dense occupancy mixes that make every (class, stage)
+	// column — including the NOP and bubble baselines, which sparse
+	// sequences exercise only in lock-step — individually identifiable.
+	rng := rand.New(rand.NewSource(t.opts.Seed))
+	var phase1 []*measurement
+	for _, words := range zeroOperandPrograms() {
+		meas, err := t.measure(words)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 1: %w", err)
+		}
+		phase1 = append(phase1, meas)
+	}
+	nopMeas, err := t.measure(allNOPProgram(64))
+	if err != nil {
+		return nil, err
+	}
+	phase1 = append(phase1, nopMeas)
+	comboWords, err := CombinationGroup(NumGroups-1, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	comboMeas, err := t.measure(comboWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+	phase1 = append(phase1, comboMeas)
+	if err := t.fitBaseline(m, phase1); err != nil {
+		return nil, fmt.Errorf("core: phase 1: %w", err)
+	}
+
+	// ---- Phase 2: activity factors via stepwise regression (§III-B) ----
+	progs, err := randomOperandPrograms(rng, t.opts.InstancesPerCluster)
+	if err != nil {
+		return nil, err
+	}
+	var phase2 []*measurement
+	for _, words := range progs {
+		meas, err := t.measure(words)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 2: %w", err)
+		}
+		phase2 = append(phase2, meas)
+	}
+	// Augment the isolated probes with mixed-instruction sequences and the
+	// combination group so the regression sees transition-bit correlations
+	// as they occur with every cluster in flight.
+	mixWords, err := MixedProgram(rng, t.opts.MixedLength)
+	if err != nil {
+		return nil, err
+	}
+	meas2, err := t.measure(mixWords)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+	phase2 = append(phase2, meas2, comboMeas)
+	if err := t.fitActivity(m, phase2); err != nil {
+		return nil, fmt.Errorf("core: phase 2: %w", err)
+	}
+
+	// ---- Phase 3: MISO combination coefficients M (§III-C) ----
+	var phase3 []*measurement
+	for i := 0; i < t.opts.MixedPrograms; i++ {
+		words, err := MixedProgram(rng, t.opts.MixedLength)
+		if err != nil {
+			return nil, err
+		}
+		meas, err := t.measure(words)
+		if err != nil {
+			return nil, fmt.Errorf("core: phase 3: %w", err)
+		}
+		phase3 = append(phase3, meas)
+	}
+	// One combination-benchmark group keeps the fit calibrated on the
+	// all-clusters-in-flight regime the paper measures its 16 k sequences
+	// in.
+	comboWords3, err := CombinationGroup(NumGroups-2, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	meas3, err := t.measure(comboWords3)
+	if err != nil {
+		return nil, fmt.Errorf("core: phase 3: %w", err)
+	}
+	phase3 = append(phase3, meas3)
+	if err := t.fitMISO(m, phase3); err != nil {
+		return nil, fmt.Errorf("core: phase 3: %w", err)
+	}
+	return m, nil
+}
+
+// phase1Columns is the design width of the baseline fit: an intercept
+// plus one column per (amplitude key, stage).
+const phase1Columns = 1 + NumAmpKeys*cpu.NumStages
+
+func phase1Col(key int, s cpu.Stage) int { return 1 + key*cpu.NumStages + int(s) }
+
+// fitBaseline solves the phase-1 ridge regression: per-cycle amplitudes
+// against stage-occupancy indicators. Stalled stages contribute nothing
+// (they are power-gated); bubbles and NOPs share the NOP column. Ridge
+// regularization resolves the benign indeterminacies between stages that
+// always stall together.
+func (t *Trainer) fitBaseline(m *Model, meas []*measurement) error {
+	xtx := linalg.NewMatrix(phase1Columns, phase1Columns)
+	xty := make([]float64, phase1Columns)
+	rows := 0
+	row := make([]float64, phase1Columns)
+	for _, me := range meas {
+		for n := range me.trace {
+			for i := range row {
+				row[i] = 0
+			}
+			row[0] = 1
+			c := &me.trace[n]
+			full := FullModel()
+			tmp := Model{Options: full}
+			for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+				st := &c.Stages[s]
+				if st.Stalled {
+					continue
+				}
+				row[phase1Col(tmp.ampKeyFor(st), s)] += 1
+			}
+			y := me.amps[n]
+			for i := 0; i < phase1Columns; i++ {
+				if row[i] == 0 {
+					continue
+				}
+				xty[i] += row[i] * y
+				for j := i; j < phase1Columns; j++ {
+					xtx.Set(i, j, xtx.At(i, j)+row[i]*row[j])
+				}
+			}
+			rows++
+		}
+	}
+	if rows < phase1Columns {
+		return fmt.Errorf("only %d cycles for %d unknowns", rows, phase1Columns)
+	}
+	// Symmetrize and regularize.
+	lambda := 1e-3 * float64(rows)
+	for i := 0; i < phase1Columns; i++ {
+		for j := 0; j < i; j++ {
+			xtx.Set(i, j, xtx.At(j, i))
+		}
+		xtx.Set(i, i, xtx.At(i, i)+lambda)
+	}
+	beta, err := linalg.SolveCholesky(xtx, xty)
+	if err != nil {
+		return err
+	}
+	m.Background = beta[0]
+	for key := 0; key < NumAmpKeys; key++ {
+		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+			m.Amp[key][s] = beta[phase1Col(key, s)]
+		}
+	}
+	// Initialize the MISO stage to pass-through until phase 3 refits it.
+	m.MISOIntercept = m.Background
+	for s := range m.MISO {
+		m.MISO[s] = 1
+	}
+	m.SingleIntercept = m.Background
+	m.SingleM = 1
+	return nil
+}
+
+// featureOffsets maps each stage's transition bits into one global
+// feature vector.
+func featureOffsets() (offsets [cpu.NumStages]int, total int) {
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		offsets[s] = total
+		total += cpu.FeatureBits(s)
+	}
+	return offsets, total
+}
+
+// fitActivity fits the data-dependent activity term on the residuals of
+// the phase-1 model, with stepwise selection over every stage's
+// transition bits (the paper's pruning of T), plus the equal-weight
+// fallback of Equ. 7 for the Figure 3 ablation.
+func (t *Trainer) fitActivity(m *Model, meas []*measurement) error {
+	offsets, total := featureOffsets()
+
+	base := m.WithOptions(ModelOptions{
+		PerStageSources: true,
+		Activity:        ActivityNone,
+		ModelStalls:     true,
+		ModelCache:      true,
+		ModelFlush:      true,
+	})
+
+	var feats [][]float64
+	var resid []float64
+	for _, me := range meas {
+		for n := range me.trace {
+			c := &me.trace[n]
+			flips := 0
+			for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+				flips += c.Stages[s].FlipCount()
+			}
+			if flips == 0 {
+				continue
+			}
+			fv := make([]float64, total)
+			for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+				st := &c.Stages[s]
+				if st.Stalled {
+					continue // gated stages contribute no switching noise
+				}
+				for w := 0; w < cpu.LatchWords(s); w++ {
+					f := st.Flip[w]
+					for b := 0; f != 0 && b < 32; b++ {
+						if f&(1<<uint(b)) != 0 {
+							fv[offsets[s]+32*w+b] = 1
+						}
+					}
+				}
+			}
+			feats = append(feats, fv)
+			resid = append(resid, me.amps[n]-base.CycleAmplitude(c))
+		}
+	}
+	if len(resid) < 50 {
+		return fmt.Errorf("only %d activity samples", len(resid))
+	}
+	// Bound the stepwise cost: a deterministic stride subsample keeps the
+	// selection tractable without biasing the cycle mix.
+	const maxSamples = 4000
+	if len(resid) > maxSamples {
+		stride := (len(resid) + maxSamples - 1) / maxSamples
+		var f2 [][]float64
+		var r2 []float64
+		for i := 0; i < len(resid); i += stride {
+			f2 = append(f2, feats[i])
+			r2 = append(r2, resid[i])
+		}
+		feats, resid = f2, r2
+	}
+
+	sw, err := stats.StepwiseRegression(feats, resid, stats.StepwiseOptions{
+		MaxPredictors: t.opts.MaxActivityBits,
+	})
+	if err != nil {
+		return err
+	}
+	// Distribute the selected global bits back to their stages.
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		m.Activity[s] = StageActivityModel{Candidates: cpu.FeatureBits(s)}
+	}
+	for k, gbit := range sw.Selected {
+		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+			lo, hi := offsets[s], offsets[s]+cpu.FeatureBits(s)
+			if gbit >= lo && gbit < hi {
+				am := &m.Activity[s]
+				am.Selected = append(am.Selected, gbit-lo)
+				am.Coef = append(am.Coef, sw.Model.Coef[k])
+			}
+		}
+	}
+	// The stepwise intercept folds into the background.
+	m.Background += sw.Model.Intercept
+	m.MISOIntercept = m.Background
+	return nil
+}
+
+// fitMISO fits the final combination (Equ. 9): measured amplitudes
+// against the per-stage source values of the current model, over mixed
+// programs where all clusters share the pipeline.
+func (t *Trainer) fitMISO(m *Model, meas []*measurement) error {
+	var feats [][]float64
+	var single [][]float64
+	var ys []float64
+	for _, me := range meas {
+		for n := range me.trace {
+			c := &me.trace[n]
+			fv := make([]float64, cpu.NumStages)
+			sum := 0.0
+			for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+				fv[s] = m.stageSource(s, &c.Stages[s])
+				sum += fv[s]
+			}
+			feats = append(feats, fv)
+			single = append(single, []float64{sum})
+			ys = append(ys, me.amps[n])
+		}
+	}
+	fit, err := stats.LinearRegression(feats, ys)
+	if err != nil {
+		return err
+	}
+	m.MISOIntercept = fit.Intercept
+	for s := 0; s < cpu.NumStages; s++ {
+		m.MISO[s] = fit.Coef[s]
+	}
+	sfit, err := stats.LinearRegression(single, ys)
+	if err != nil {
+		return err
+	}
+	m.SingleIntercept = sfit.Intercept
+	m.SingleM = sfit.Coef[0]
+	return nil
+}

@@ -1,0 +1,96 @@
+package cpu
+
+import "emsim/internal/isa"
+
+// aluOp computes the result of an ALU-class instruction given its two
+// operand values. Loads/stores use it for address generation (op b is the
+// immediate). It implements the RV32IM semantics including the division
+// corner cases mandated by the spec (divide by zero, signed overflow).
+func aluOp(op isa.Op, a, b uint32) uint32 {
+	switch op {
+	case isa.ADD, isa.ADDI, isa.AUIPC, isa.JAL, isa.JALR,
+		isa.LB, isa.LH, isa.LW, isa.LBU, isa.LHU,
+		isa.SB, isa.SH, isa.SW:
+		return a + b
+	case isa.SUB:
+		return a - b
+	case isa.SLL, isa.SLLI:
+		return a << (b & 31)
+	case isa.SLT, isa.SLTI:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case isa.SLTU, isa.SLTIU:
+		if a < b {
+			return 1
+		}
+		return 0
+	case isa.XOR, isa.XORI:
+		return a ^ b
+	case isa.SRL, isa.SRLI:
+		return a >> (b & 31)
+	case isa.SRA, isa.SRAI:
+		return uint32(int32(a) >> (b & 31))
+	case isa.OR, isa.ORI:
+		return a | b
+	case isa.AND, isa.ANDI:
+		return a & b
+	case isa.LUI:
+		return b // operand b carries imm<<12
+	case isa.MUL:
+		return a * b
+	case isa.MULH:
+		return uint32((int64(int32(a)) * int64(int32(b))) >> 32)
+	case isa.MULHSU:
+		return uint32((int64(int32(a)) * int64(uint32(b))) >> 32)
+	case isa.MULHU:
+		return uint32((uint64(a) * uint64(b)) >> 32)
+	case isa.DIV:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		if int32(a) == -0x80000000 && int32(b) == -1 {
+			return a // overflow: result is the dividend
+		}
+		return uint32(int32(a) / int32(b))
+	case isa.DIVU:
+		if b == 0 {
+			return 0xFFFFFFFF
+		}
+		return a / b
+	case isa.REM:
+		if b == 0 {
+			return a
+		}
+		if int32(a) == -0x80000000 && int32(b) == -1 {
+			return 0
+		}
+		return uint32(int32(a) % int32(b))
+	case isa.REMU:
+		if b == 0 {
+			return a
+		}
+		return a % b
+	}
+	return 0
+}
+
+// branchTaken evaluates a conditional branch's direction.
+func branchTaken(op isa.Op, a, b uint32) bool {
+	switch op {
+	case isa.BEQ:
+		return a == b
+	case isa.BNE:
+		return a != b
+	case isa.BLT:
+		return int32(a) < int32(b)
+	case isa.BGE:
+		return int32(a) >= int32(b)
+	case isa.BLTU:
+		return a < b
+	case isa.BGEU:
+		return a >= b
+	}
+	return false
+}

@@ -1,0 +1,247 @@
+package cpu
+
+import (
+	"testing"
+
+	"emsim/internal/isa"
+	"emsim/internal/mem"
+)
+
+// Corner cases at the intersections of the pipeline's mechanisms:
+// control flow against control flow, hazards against multi-cycle units,
+// flushes against outstanding cache misses, and replacement-policy edges.
+// Each failure mode here corrupts the microarchitectural trace the EM
+// model trains on, so they are guarded independently of the ISS
+// differential tests (which only check architectural state).
+
+func TestBackToBackTakenBranches(t *testing.T) {
+	// Two consecutive always-taken branches with a not-taken predictor:
+	// both mispredict, and the second's wrong-path fetches must not leak
+	// architectural effects from the skipped instructions.
+	cfg := DefaultConfig()
+	cfg.Predictor = PredictNotTaken
+	c, _ := run(t, cfg,
+		isa.Addi(isa.T0, isa.Zero, 1),
+		isa.Beq(isa.Zero, isa.Zero, 8), // skip the poison addi
+		isa.Addi(isa.T0, isa.Zero, 99), // wrong path
+		isa.Beq(isa.Zero, isa.Zero, 8), // immediately another taken branch
+		isa.Addi(isa.T0, isa.Zero, 98), // wrong path
+		isa.Addi(isa.T1, isa.T0, 1),
+		isa.Ebreak(),
+	)
+	if got := c.Reg(isa.T0); got != 1 {
+		t.Errorf("t0 = %d, want 1 (wrong-path addi retired)", got)
+	}
+	if got := c.Reg(isa.T1); got != 2 {
+		t.Errorf("t1 = %d, want 2", got)
+	}
+	if st := c.Stats(); st.Mispredicts != 2 {
+		t.Errorf("mispredicts = %d, want 2", st.Mispredicts)
+	}
+}
+
+func TestLoadFeedingBranch(t *testing.T) {
+	// A branch whose condition register is produced by the immediately
+	// preceding load: the load-use interlock must delay the branch until
+	// the loaded value is available, and the direction must be computed
+	// from the loaded value, not a stale register.
+	c, _ := run(t, DefaultConfig(),
+		isa.Addi(isa.T1, isa.Zero, 7),
+		isa.Sw(isa.T1, isa.Zero, 0x100),
+		isa.Lw(isa.T0, isa.Zero, 0x100), // t0 <- 7
+		isa.Bne(isa.T0, isa.T1, 8),      // 7 != 7: not taken
+		isa.Addi(isa.T2, isa.Zero, 1),   // must execute
+		isa.Addi(isa.T3, isa.Zero, 2),
+		isa.Ebreak(),
+	)
+	if got := c.Reg(isa.T2); got != 1 {
+		t.Errorf("t2 = %d, want 1 (fall-through path skipped)", got)
+	}
+	if got := c.Reg(isa.T3); got != 2 {
+		t.Errorf("t3 = %d, want 2", got)
+	}
+	if st := c.Stats(); st.StallCycles == 0 {
+		t.Error("load feeding a branch produced no stall cycles")
+	}
+}
+
+func TestMulFeedingBranch(t *testing.T) {
+	// A branch consuming a multi-cycle multiply result: the branch must
+	// wait out the EX occupancy and then resolve with the product.
+	for _, fwd := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.Forwarding = fwd
+		c, _ := run(t, cfg,
+			isa.Addi(isa.T0, isa.Zero, 6),
+			isa.Addi(isa.T1, isa.Zero, 7),
+			isa.Mul(isa.T2, isa.T0, isa.T1), // 42, 3 EX cycles
+			isa.Addi(isa.T3, isa.Zero, 42),
+			isa.Bne(isa.T2, isa.T3, 8),    // equal: not taken
+			isa.Addi(isa.T4, isa.Zero, 1), // must execute
+			isa.Nop(),
+			isa.Ebreak(),
+		)
+		if got := c.Reg(isa.T2); got != 42 {
+			t.Errorf("forwarding=%v: product = %d, want 42", fwd, got)
+		}
+		if got := c.Reg(isa.T4); got != 1 {
+			t.Errorf("forwarding=%v: branch mis-resolved against in-flight product", fwd)
+		}
+	}
+}
+
+func TestDivOverflowSemantics(t *testing.T) {
+	// RISC-V M: INT_MIN / -1 overflows to INT_MIN with remainder 0
+	// (no trap). The shared iterative unit must special-case it.
+	var p []isa.Inst
+	p = append(p, isa.Li(isa.T0, -0x80000000)...)
+	p = append(p, isa.Li(isa.T1, -1)...)
+	p = append(p,
+		isa.Div(isa.T2, isa.T0, isa.T1),
+		isa.Rem(isa.T3, isa.T0, isa.T1),
+		isa.Ebreak(),
+	)
+	c, _ := run(t, DefaultConfig(), p...)
+	if got := c.Reg(isa.T2); got != 0x80000000 {
+		t.Errorf("INT_MIN/-1 = %#x, want 0x80000000", got)
+	}
+	if got := c.Reg(isa.T3); got != 0 {
+		t.Errorf("INT_MIN%%-1 = %d, want 0", got)
+	}
+}
+
+func TestCacheLRUEvictionInPipeline(t *testing.T) {
+	// A 2-way cache with a single set: touching three distinct lines
+	// evicts the least-recently-used one, so re-touching the first line
+	// misses again. Guards the pipeline-to-cache wiring end to end (the
+	// cache's own tests cover the policy in isolation).
+	cfg := DefaultConfig()
+	cfg.Cache = mem.CacheConfig{
+		SizeBytes:   64, // 2 lines total -> 1 set, 2 ways
+		LineBytes:   32,
+		Ways:        2,
+		HitLatency:  1,
+		MissPenalty: 2,
+	}
+	c, _ := run(t, cfg,
+		isa.Lw(isa.T0, isa.Zero, 0x100), // line A: miss
+		isa.Lw(isa.T1, isa.Zero, 0x200), // line B: miss
+		isa.Lw(isa.T2, isa.Zero, 0x100), // line A again: hit (A is MRU)
+		isa.Lw(isa.T3, isa.Zero, 0x300), // line C: miss, evicts B (LRU)
+		isa.Lw(isa.T4, isa.Zero, 0x200), // line B: miss again
+		isa.Lw(isa.T5, isa.Zero, 0x100), // line A survived: hit? A was evicted by B's refill
+		isa.Ebreak(),
+	)
+	st := c.Stats()
+	// Access sequence against a 1-set 2-way LRU cache:
+	//   A miss {A}, B miss {A,B}, A hit (A MRU), C miss evicts B {A,C},
+	//   B miss evicts A {C,B}, A miss evicts C {B,A}.
+	if st.CacheMisses != 5 || st.CacheHits != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/5 under LRU", st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestFlushKillsWrongPathMiss(t *testing.T) {
+	// A mispredicted-not-taken branch fetches a wrong-path load that
+	// would miss in the cache. The flush must kill the load before its
+	// MEM access: no architectural write, and no cache fill for the
+	// wrong-path address (it must still miss when properly reached).
+	cfg := DefaultConfig()
+	cfg.Predictor = PredictNotTaken
+	c, _ := run(t, cfg,
+		isa.Beq(isa.Zero, isa.Zero, 12), // taken: skip two wrong-path insts
+		isa.Lw(isa.T0, isa.Zero, 0x7c0), // wrong path: would miss
+		isa.Addi(isa.T1, isa.Zero, 99),  // wrong path
+		isa.Lw(isa.T2, isa.Zero, 0x7c0), // correct path: same address
+		isa.Ebreak(),
+	)
+	if got := c.Reg(isa.T0); got != 0 {
+		t.Errorf("wrong-path load wrote t0 = %d", got)
+	}
+	if got := c.Reg(isa.T1); got != 0 {
+		t.Errorf("wrong-path addi wrote t1 = %d", got)
+	}
+	st := c.Stats()
+	// Only the correct-path load may access the cache, and it must be a
+	// genuine (cold) miss — a wrong-path fill would turn it into a hit.
+	if st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Errorf("hits/misses = %d/%d, want 0/1 (wrong-path load touched the cache)",
+			st.CacheHits, st.CacheMisses)
+	}
+}
+
+func TestStallFreezesLatchBits(t *testing.T) {
+	// While a stage is stalled its latch contents must not change cycle
+	// to cycle: frozen latches emit no transition energy (the stall
+	// modeling of §IV depends on this).
+	_, tr := run(t, DefaultConfig(),
+		isa.Lw(isa.T0, isa.Zero, 0x400), // miss: several stall cycles
+		isa.Add(isa.T1, isa.T0, isa.T0), // load-use on top
+		isa.Ebreak(),
+	)
+	for i := range tr {
+		for s := Stage(0); s < NumStages; s++ {
+			st := &tr[i].Stages[s]
+			if !st.Stalled {
+				continue
+			}
+			for w := 0; w < LatchWords(s); w++ {
+				if st.Flip[w] != 0 {
+					t.Fatalf("cycle %d stage %v stalled but flip word %d = %#x",
+						i, s, w, st.Flip[w])
+				}
+			}
+		}
+	}
+}
+
+func TestTightSelfLoopPredictorConvergence(t *testing.T) {
+	// A tight 2-instruction self-loop is the predictor's hardest BTB
+	// case. The two-level predictor needs a warm-up proportional to its
+	// history length, but after convergence every iteration must predict
+	// correctly — so doubling the iteration count must not add a single
+	// misprediction (beyond the final fall-through, identical in both).
+	mispredicts := func(iters int32) uint64 {
+		c, _ := run(t, DefaultConfig(),
+			isa.Addi(isa.T0, isa.Zero, iters),
+			isa.Addi(isa.T0, isa.T0, -1),
+			isa.Bne(isa.T0, isa.Zero, -4), // loop back to the addi
+			isa.Ebreak(),
+		)
+		if got := c.Reg(isa.T0); got != 0 {
+			t.Fatalf("t0 = %d after %d iterations, want 0", got, iters)
+		}
+		return c.Stats().Mispredicts
+	}
+	m200, m400 := mispredicts(200), mispredicts(400)
+	if m200 != m400 {
+		t.Errorf("mispredicts grew from %d (200 iters) to %d (400 iters); steady state not clean",
+			m200, m400)
+	}
+	if m200 > 20 {
+		t.Errorf("warm-up took %d mispredictions, want <= 20", m200)
+	}
+}
+
+func TestStoreToLineThenMissKeepsData(t *testing.T) {
+	// A store followed by an eviction of its line and a reload: the
+	// write-through/refill path must not lose the stored word.
+	cfg := DefaultConfig()
+	cfg.Cache = mem.CacheConfig{
+		SizeBytes: 64, LineBytes: 32, Ways: 2, HitLatency: 1, MissPenalty: 2,
+	}
+	var p []isa.Inst
+	p = append(p, isa.Li(isa.T1, 0x1234abc)...)
+	p = append(p,
+		isa.Sw(isa.T1, isa.Zero, 0x100), // store to line A
+		isa.Lw(isa.T2, isa.Zero, 0x200), // fill line B
+		isa.Lw(isa.T3, isa.Zero, 0x300), // fill line C (evicts A or B)
+		isa.Lw(isa.T4, isa.Zero, 0x400), // fill line D (A definitely gone)
+		isa.Lw(isa.T0, isa.Zero, 0x100), // reload line A
+		isa.Ebreak(),
+	)
+	c, _ := run(t, cfg, p...)
+	if got := c.Reg(isa.T0); got != 0x1234abc {
+		t.Errorf("reloaded %#x, want 0x1234abc (store lost across eviction)", got)
+	}
+}

@@ -1,0 +1,135 @@
+package cpu
+
+import (
+	"fmt"
+
+	"emsim/internal/isa"
+	"emsim/internal/mem"
+)
+
+// ISS is a plain functional instruction-set simulator: one instruction per
+// step, no pipeline, no cache timing. It serves as the architectural
+// reference the pipelined core is validated against (the paper similarly
+// "extensively tested the correctness of the processor's implementation"
+// before measuring it).
+type ISS struct {
+	Mem  *mem.Memory
+	Regs [isa.NumRegs]uint32
+	PC   uint32
+
+	halted   bool
+	executed int
+	maxSteps int
+}
+
+// NewISS returns a reference simulator with an empty memory.
+func NewISS() *ISS {
+	return &ISS{Mem: mem.NewMemory(), maxSteps: 10_000_000}
+}
+
+// Halted reports whether ECALL/EBREAK executed.
+func (s *ISS) Halted() bool { return s.halted }
+
+// Executed returns the number of instructions executed.
+func (s *ISS) Executed() int { return s.executed }
+
+// LoadProgram writes instruction words at addr.
+func (s *ISS) LoadProgram(addr uint32, words []uint32) { s.Mem.LoadWords(addr, words) }
+
+// Step executes one instruction.
+func (s *ISS) Step() error {
+	if s.halted {
+		return fmt.Errorf("iss: step after halt")
+	}
+	word := s.Mem.ReadWord(s.PC)
+	in, err := isa.Decode(word)
+	if err != nil {
+		return fmt.Errorf("iss: at pc %#x: %w", s.PC, err)
+	}
+	next := s.PC + 4
+	rs1 := s.Regs[in.Rs1]
+	rs2 := s.Regs[in.Rs2]
+
+	var rd uint32
+	writeRd := in.Op.WritesRd()
+
+	switch {
+	case in.Op == isa.LUI:
+		rd = uint32(in.Imm) << 12
+	case in.Op == isa.AUIPC:
+		rd = s.PC + uint32(in.Imm)<<12
+	case in.Op == isa.JAL:
+		rd = s.PC + 4
+		next = s.PC + uint32(in.Imm)
+	case in.Op == isa.JALR:
+		rd = s.PC + 4
+		next = (rs1 + uint32(in.Imm)) &^ 1
+	case in.Op.IsBranch():
+		if branchTaken(in.Op, rs1, rs2) {
+			next = s.PC + uint32(in.Imm)
+		}
+	case in.Op.IsLoad():
+		addr := rs1 + uint32(in.Imm)
+		switch in.Op {
+		case isa.LB:
+			rd = uint32(int32(int8(s.Mem.LoadByte(addr))))
+		case isa.LBU:
+			rd = uint32(s.Mem.LoadByte(addr))
+		case isa.LH:
+			rd = uint32(int32(int16(s.Mem.ReadHalf(addr))))
+		case isa.LHU:
+			rd = uint32(s.Mem.ReadHalf(addr))
+		case isa.LW:
+			rd = s.Mem.ReadWord(addr)
+		}
+	case in.Op.IsStore():
+		addr := rs1 + uint32(in.Imm)
+		switch in.Op {
+		case isa.SB:
+			s.Mem.StoreByte(addr, byte(rs2))
+		case isa.SH:
+			s.Mem.WriteHalf(addr, uint16(rs2))
+		case isa.SW:
+			s.Mem.WriteWord(addr, rs2)
+		}
+	case in.Op.IsSystem():
+		s.halted = true
+	case in.Op == isa.FENCE:
+		// no-op
+	case in.Op.Format() == isa.FormatR:
+		rd = aluOp(in.Op, rs1, rs2)
+	default: // register-immediate ALU
+		rd = aluOp(in.Op, rs1, uint32(in.Imm))
+	}
+
+	if writeRd && in.Rd != isa.Zero {
+		s.Regs[in.Rd] = rd
+	}
+	s.PC = next
+	s.executed++
+	return nil
+}
+
+// Run executes until halt or the step limit.
+func (s *ISS) Run() error {
+	for !s.halted {
+		if s.executed >= s.maxSteps {
+			return fmt.Errorf("iss: exceeded %d instructions without halting", s.maxSteps)
+		}
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunProgram resets architectural state, loads words at address 0 and runs.
+func (s *ISS) RunProgram(words []uint32) error {
+	s.Regs = [isa.NumRegs]uint32{}
+	s.PC = 0
+	s.halted = false
+	s.executed = 0
+	s.Mem.Reset()
+	s.LoadProgram(0, words)
+	return s.Run()
+}

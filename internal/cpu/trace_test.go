@@ -1,0 +1,223 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"emsim/internal/isa"
+)
+
+// TestTraceFlipInvariant checks the defining property of the transition
+// bits: every stage's Flip word equals the XOR of its Latch word with the
+// previous cycle's Latch word, across random programs.
+func TestTraceFlipInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		prog := randProgram(r, 120)
+		c := MustNew(DefaultConfig())
+		tr, err := c.RunProgram(asm(t, prog...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev [NumStages][MaxLatchWords]uint32
+		for i := range tr {
+			for s := Stage(0); s < NumStages; s++ {
+				st := &tr[i].Stages[s]
+				for w := 0; w < MaxLatchWords; w++ {
+					if st.Flip[w] != st.Latch[w]^prev[s][w] {
+						t.Fatalf("trial %d cycle %d stage %v word %d: flip %#x != latch %#x ^ prev %#x",
+							trial, i, s, w, st.Flip[w], st.Latch[w], prev[s][w])
+					}
+				}
+				prev[s] = st.Latch
+			}
+		}
+	}
+}
+
+// TestTraceRetirementCompleteness: every fetched instruction either
+// retires exactly once (appears in WB with its sequence number) or was
+// flushed; retired sequence numbers are gap-free except for flushed ones.
+func TestTraceRetirementCompleteness(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 10; trial++ {
+		prog := randProgram(r, 100)
+		c := MustNew(DefaultConfig())
+		tr, err := c.RunProgram(asm(t, prog...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]int{}
+		for i := range tr {
+			st := &tr[i].Stages[WB]
+			if !st.Bubble && st.Seq >= 0 {
+				seen[st.Seq]++
+			}
+		}
+		for seq, n := range seen {
+			if n != 1 {
+				t.Fatalf("trial %d: seq %d retired %d times", trial, seq, n)
+			}
+		}
+		st := c.Stats()
+		if len(seen) != st.Retired {
+			t.Fatalf("trial %d: %d distinct retirements vs stats %d", trial, len(seen), st.Retired)
+		}
+	}
+}
+
+// TestTraceStageOrdering: for each retired instruction, its appearances
+// across stages happen in non-decreasing stage order over time.
+func TestTraceStageOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	prog := randProgram(r, 80)
+	c := MustNew(DefaultConfig())
+	tr, err := c.RunProgram(asm(t, prog...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each (seq, stage) record the first cycle it appears.
+	type key struct {
+		seq   int
+		stage Stage
+	}
+	first := map[key]int{}
+	for i := range tr {
+		for s := Stage(0); s < NumStages; s++ {
+			st := &tr[i].Stages[s]
+			if st.Bubble || st.Seq < 0 {
+				continue
+			}
+			k := key{st.Seq, s}
+			if _, ok := first[k]; !ok {
+				first[k] = i
+			}
+		}
+	}
+	for k, cycle := range first {
+		if k.stage == IF {
+			continue
+		}
+		prevStage := key{k.seq, k.stage - 1}
+		if pc, ok := first[prevStage]; ok && pc >= cycle {
+			t.Fatalf("seq %d reached %v (cycle %d) before %v (cycle %d)",
+				k.seq, k.stage, cycle, k.stage-1, pc)
+		}
+	}
+}
+
+// TestLoadUseChainNoForwarding stresses back-to-back dependent loads with
+// forwarding disabled.
+func TestLoadUseChainNoForwarding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Forwarding = false
+	c := MustNew(cfg)
+	var prog []isa.Inst
+	prog = append(prog, isa.Li(isa.S0, 0x2000)...)
+	prog = append(prog,
+		isa.Addi(isa.T0, isa.Zero, 7),
+		isa.Sw(isa.T0, isa.S0, 0),
+		isa.Lw(isa.T1, isa.S0, 0), // t1 = 7
+		isa.Add(isa.T2, isa.T1, isa.T1),
+		isa.Sw(isa.T2, isa.S0, 4),
+		isa.Lw(isa.T3, isa.S0, 4), // t3 = 14
+		isa.Add(isa.T4, isa.T3, isa.T1),
+		isa.Ebreak(),
+	)
+	if _, err := c.RunProgram(asm(t, prog...)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.T4); got != 21 {
+		t.Errorf("t4 = %d, want 21", got)
+	}
+}
+
+func TestPredictorKindStrings(t *testing.T) {
+	cases := map[PredictorKind]string{
+		PredictTwoLevel: "two-level",
+		PredictGShare:   "gshare",
+		PredictBimodal:  "bimodal",
+		PredictNotTaken: "not-taken",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if PredictorKind(9).String() != "unknown" {
+		t.Error("unknown predictor string")
+	}
+}
+
+// TestISSErrors covers the reference simulator's failure paths.
+func TestISSErrors(t *testing.T) {
+	s := NewISS()
+	// Undecodable word at PC.
+	s.Mem.WriteWord(0, 0xFFFFFFFF)
+	if err := s.Step(); err == nil {
+		t.Error("bad word executed")
+	}
+	s2 := NewISS()
+	s2.LoadProgram(0, asm(t, isa.Ebreak()))
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Halted() {
+		t.Error("not halted")
+	}
+	if err := s2.Step(); err == nil {
+		t.Error("step after halt accepted")
+	}
+	// Infinite loop hits the step limit.
+	s3 := NewISS()
+	s3.maxSteps = 100
+	s3.LoadProgram(0, asm(t, isa.Jal(isa.Zero, 0)))
+	if err := s3.Run(); err == nil {
+		t.Error("infinite loop not caught")
+	}
+	if s2.Executed() != 1 {
+		t.Errorf("executed = %d", s2.Executed())
+	}
+}
+
+// TestFenceIsNop confirms FENCE flows through both simulators harmlessly.
+func TestFenceIsNop(t *testing.T) {
+	prog := asm(t,
+		isa.Addi(isa.T0, isa.Zero, 5),
+		isa.Inst{Op: isa.FENCE},
+		isa.Addi(isa.T1, isa.T0, 1),
+		isa.Ebreak(),
+	)
+	c := MustNew(DefaultConfig())
+	if _, err := c.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reg(isa.T1) != 6 {
+		t.Errorf("t1 = %d", c.Reg(isa.T1))
+	}
+	ref := NewISS()
+	if err := ref.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Regs[isa.T1] != 6 {
+		t.Errorf("iss t1 = %d", ref.Regs[isa.T1])
+	}
+}
+
+// TestBranchToUnalignedViaJALR: JALR clears bit 0 per the spec.
+func TestJALRClearsBitZero(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	prog := asm(t,
+		isa.Addi(isa.T0, isa.Zero, 13), // odd target; &^1 -> 12
+		isa.Jalr(isa.RA, isa.T0, 0),    // jump to 12
+		isa.Ebreak(),                   // 8: skipped
+		isa.Addi(isa.T1, isa.Zero, 9),  // 12: lands here
+		isa.Ebreak(),                   // 16
+	)
+	if _, err := c.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(isa.T1); got != 9 {
+		t.Errorf("t1 = %d; JALR did not clear bit 0", got)
+	}
+}

@@ -1,0 +1,248 @@
+package device
+
+import (
+	"fmt"
+	"math/rand"
+
+	"emsim/internal/cpu"
+	"emsim/internal/signal"
+)
+
+// ProbePosition places the magnetic probe relative to the die. The five
+// pipeline stages sit at x = 0..4 (arbitrary die units); the base
+// measurement position of the paper (probe centered above the chip) is
+// x = 2 at height 1.
+type ProbePosition struct {
+	X, Height float64
+}
+
+// BaseProbe returns the reference probe placement all loss coefficients
+// are normalized to (β = 1 there, §V-D).
+func BaseProbe() ProbePosition { return ProbePosition{X: 2, Height: 1} }
+
+// lossTo computes the raw path loss from the probe to stage s's location
+// (inverse-square flat-fading coefficient).
+func (p ProbePosition) lossTo(s cpu.Stage) float64 {
+	dx := p.X - float64(s)
+	d2 := p.Height*p.Height + dx*dx
+	return 1 / d2
+}
+
+// Options configures a Device.
+type Options struct {
+	// TechSeed selects the board/CMOS instance: a different seed is a
+	// different physical board (§V-C). Same seed + different ClockPPM is
+	// a different manufacturing instance of the same board (§V-B).
+	TechSeed int64
+	// ClockPPM is the relative clock-frequency deviation (parts per
+	// million) of this physical instance.
+	ClockPPM float64
+	// Probe is the magnetic probe placement; zero value means BaseProbe.
+	Probe ProbePosition
+	// NoiseStd is the additive white measurement noise (per analog
+	// sample, in device amplitude units).
+	NoiseStd float64
+	// SamplesPerCycle is the oscilloscope rate in samples per clock
+	// cycle.
+	SamplesPerCycle int
+	// CPU configures the device's core. The Figure 11 experiment sets
+	// BuggyMul here to fabricate a defective chip.
+	CPU cpu.Config
+	// NoiseSeed decorrelates the measurement noise between devices.
+	NoiseSeed int64
+}
+
+// DefaultOptions returns the baseline device: board #1, nominal clock,
+// probe at the reference position, 16 samples per cycle, and a noise
+// level that leaves headroom for the paper's ≈94 % accuracy.
+func DefaultOptions() Options {
+	return Options{
+		TechSeed:        1,
+		Probe:           BaseProbe(),
+		NoiseStd:        0.06,
+		SamplesPerCycle: 16,
+		CPU:             cpu.DefaultConfig(),
+		NoiseSeed:       1,
+	}
+}
+
+// Device is one physical measurement setup: a board (with hidden
+// physics), a probe position, and an oscilloscope.
+type Device struct {
+	opts Options
+	phys *physics
+	core *cpu.CPU
+	beta [cpu.NumStages]float64
+	rng  *rand.Rand
+}
+
+// New builds a device from opts (zero-value fields are filled with
+// defaults).
+func New(opts Options) (*Device, error) {
+	if opts.SamplesPerCycle == 0 {
+		opts.SamplesPerCycle = DefaultOptions().SamplesPerCycle
+	}
+	if opts.SamplesPerCycle < 4 {
+		return nil, fmt.Errorf("device: need >= 4 samples per cycle (got %d)", opts.SamplesPerCycle)
+	}
+	if (opts.Probe == ProbePosition{}) {
+		opts.Probe = BaseProbe()
+	}
+	if opts.CPU.MaxCycles == 0 {
+		opts.CPU = cpu.DefaultConfig()
+	}
+	if opts.NoiseStd < 0 {
+		return nil, fmt.Errorf("device: negative noise %g", opts.NoiseStd)
+	}
+	core, err := cpu.New(opts.CPU)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		opts: opts,
+		phys: newPhysics(opts.TechSeed),
+		core: core,
+		rng:  rand.New(rand.NewSource(opts.NoiseSeed ^ 0x0DD5C0DE)),
+	}
+	base := BaseProbe()
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		d.beta[s] = opts.Probe.lossTo(s) / base.lossTo(s)
+	}
+	return d, nil
+}
+
+// MustNew is New for known-good options; it panics on error.
+func MustNew(opts Options) *Device {
+	d, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// SamplesPerCycle returns the oscilloscope rate in samples per clock
+// cycle.
+func (d *Device) SamplesPerCycle() int { return d.opts.SamplesPerCycle }
+
+// Options returns the device configuration (hidden physics excluded).
+func (d *Device) Options() Options { return d.opts }
+
+// emit renders the ideal (noise-free) analog emission of a trace.
+func (d *Device) emit(tr cpu.Trace) []float64 {
+	x := make([]float64, len(tr))
+	for i := range tr {
+		x[i] = d.phys.cycleAmplitude(&tr[i], &d.beta)
+	}
+	y := signal.MustReconstruct(x, d.opts.SamplesPerCycle, d.phys.kernel)
+	if d.opts.ClockPPM != 0 {
+		y = stretchPerCycle(y, d.opts.SamplesPerCycle, 1+d.opts.ClockPPM*1e-6)
+	}
+	return y
+}
+
+// stretchPerCycle emulates a clock-trimmed board as seen through the
+// paper's modulo-operation acquisition (§II-B): the fold uses the
+// device's *actual* clock period (T_s = noc × T_clk), so cycle boundaries
+// stay locked and only the waveform inside each cycle is time-scaled by
+// the trim. This is why §V-B finds the shifted boards "slightly shifted"
+// per cycle but statistically indistinguishable in accuracy — the drift
+// never accumulates across cycles.
+func stretchPerCycle(y []float64, spc int, factor float64) []float64 {
+	if factor == 1 || len(y) < 2 || spc < 2 {
+		return y
+	}
+	out := make([]float64, len(y))
+	cycles := len(y) / spc
+	interp := func(pos float64) float64 {
+		lo := int(pos)
+		if lo < 0 {
+			return y[0]
+		}
+		if lo >= len(y)-1 {
+			return y[len(y)-1]
+		}
+		frac := pos - float64(lo)
+		return y[lo]*(1-frac) + y[lo+1]*frac
+	}
+	for c := 0; c < cycles; c++ {
+		base := c * spc
+		for i := 0; i < spc; i++ {
+			out[base+i] = interp(float64(base) + float64(i)/factor)
+		}
+	}
+	copy(out[cycles*spc:], y[cycles*spc:])
+	return out
+}
+
+// Capture runs the program once and returns the core's trace plus one
+// noisy oscilloscope capture of the emission.
+func (d *Device) Capture(words []uint32) (cpu.Trace, []float64, error) {
+	tr, err := d.core.RunProgram(words)
+	if err != nil {
+		return nil, nil, fmt.Errorf("device: %w", err)
+	}
+	y := d.emit(tr)
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = v + d.opts.NoiseStd*d.rng.NormFloat64()
+	}
+	return tr, out, nil
+}
+
+// MeasureAveraged emulates the paper's measurement procedure (§II-B): the
+// sequence is executed `runs` times (1000 in the paper) and the captures
+// are averaged with the modulo operation, yielding a low-noise reference
+// signal. The device's trace of the final run is returned for alignment.
+func (d *Device) MeasureAveraged(words []uint32, runs int) (cpu.Trace, []float64, error) {
+	if runs < 1 {
+		return nil, nil, fmt.Errorf("device: need >= 1 run (got %d)", runs)
+	}
+	var tr cpu.Trace
+	var acc []float64
+	for r := 0; r < runs; r++ {
+		t, y, err := d.Capture(words)
+		if err != nil {
+			return nil, nil, err
+		}
+		if acc == nil {
+			acc = make([]float64, len(y))
+			tr = t
+		} else if len(y) != len(acc) {
+			return nil, nil, fmt.Errorf("device: nondeterministic run length (%d vs %d samples)", len(y), len(acc))
+		}
+		for i, v := range y {
+			acc[i] += v
+		}
+	}
+	inv := 1 / float64(runs)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return tr, acc, nil
+}
+
+// CaptureStream emulates a long untriggered oscilloscope capture: the
+// program is executed reps times back to back and the noisy emissions are
+// concatenated into one stream. Feed the result to signal.ModuloAverage
+// with seqPeriod = cycles × SamplesPerCycle to recover the low-noise
+// reference waveform, exactly as §II-B does with its "modulo operation".
+func (d *Device) CaptureStream(words []uint32, reps int) (stream []float64, cyclesPerRep int, err error) {
+	if reps < 1 {
+		return nil, 0, fmt.Errorf("device: need >= 1 repetition (got %d)", reps)
+	}
+	tr, err := d.core.RunProgram(words)
+	if err != nil {
+		return nil, 0, fmt.Errorf("device: %w", err)
+	}
+	clean := d.emit(tr)
+	out := make([]float64, 0, len(clean)*reps)
+	for r := 0; r < reps; r++ {
+		for _, v := range clean {
+			out = append(out, v+d.opts.NoiseStd*d.rng.NormFloat64())
+		}
+	}
+	return out, len(tr), nil
+}
+
+// CPUStats exposes the device core's statistics for experiment reporting.
+func (d *Device) CPUStats() cpu.Stats { return d.core.Stats() }

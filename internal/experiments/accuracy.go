@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emsim/internal/core"
+	"emsim/internal/stats"
+)
+
+// Figure8Result is the paper's headline validation (§V-A, Figure 8): the
+// combination microbenchmark covering all 7⁵ pipeline occupancy mixes,
+// scored as mean per-cycle normalized cross-correlation between measured
+// and simulated signals. The paper reports 94.1 % on its FPGA.
+type Figure8Result struct {
+	// GroupAccuracy holds per-group accuracies, representatives first,
+	// then (if run) the full-ISA variant groups.
+	GroupAccuracy []float64
+	// FullISAAccuracy holds the second 17 groups drawn from the full ISA
+	// instead of only the representatives.
+	FullISAAccuracy []float64
+	// Mean / MeanFullISA summarize both sets.
+	Mean, MeanFullISA float64
+	// TotalCycles is the number of simulated-and-measured cycles scored.
+	TotalCycles int
+}
+
+// Figure8 runs `groups` of the 17 benchmark groups in both variants
+// (pass core.NumGroups to run them all, as the recorded results do).
+func (e *Env) Figure8(groups int) (*Figure8Result, error) {
+	if groups < 1 || groups > core.NumGroups {
+		groups = core.NumGroups
+	}
+	res := &Figure8Result{}
+	for variant := 0; variant < 2; variant++ {
+		rng := e.rng(800 + int64(variant))
+		sum := 0.0
+		for g := 0; g < groups; g++ {
+			words, err := core.CombinationGroup(g, rng, variant == 1)
+			if err != nil {
+				return nil, err
+			}
+			cmp, err := e.score(e.Model, nil, words)
+			if err != nil {
+				return nil, fmt.Errorf("group %d (variant %d): %w", g, variant, err)
+			}
+			sum += cmp.Accuracy
+			res.TotalCycles += cmp.Cycles
+			if variant == 0 {
+				res.GroupAccuracy = append(res.GroupAccuracy, cmp.Accuracy)
+			} else {
+				res.FullISAAccuracy = append(res.FullISAAccuracy, cmp.Accuracy)
+			}
+		}
+		if variant == 0 {
+			res.Mean = sum / float64(groups)
+		} else {
+			res.MeanFullISA = sum / float64(groups)
+		}
+	}
+	return res, nil
+}
+
+func (r *Figure8Result) String() string {
+	min1, max1 := stats.MinMax(r.GroupAccuracy)
+	min2, max2 := stats.MinMax(r.FullISAAccuracy)
+	return fmt.Sprintf("Figure 8 / §V-A headline — combination benchmark accuracy\n"+
+		"  representative groups (%d): mean %s  (min %s, max %s)\n"+
+		"  full-ISA groups       (%d): mean %s  (min %s, max %s)\n"+
+		"  total cycles scored: %d   (paper: 94.1%% over 34 groups)\n",
+		len(r.GroupAccuracy), fmtPct(r.Mean), fmtPct(min1), fmtPct(max1),
+		len(r.FullISAAccuracy), fmtPct(r.MeanFullISA), fmtPct(min2), fmtPct(max2),
+		r.TotalCycles)
+}
+
+// AblationRow is one model feature's contribution to the headline metric.
+type AblationRow struct {
+	Name     string
+	Options  core.ModelOptions
+	Accuracy float64
+	RMSE     float64 // normalized RMSE (amplitude-sensitive)
+	Drop     float64 // accuracy vs full model
+}
+
+// AblationResult is the accuracy-degradation study the paper runs across
+// §III/§IV: the headline benchmark re-scored with each modeling feature
+// disabled. Two metrics are reported: the paper's per-cycle correlation
+// (shape) and the normalized RMSE (amplitude) — timing-altering ablations
+// (stalls, cache) wreck the first, amplitude-only ablations mostly the
+// second.
+type AblationResult struct {
+	Full     float64
+	FullRMSE float64
+	Rows     []AblationRow
+}
+
+// Ablations scores the full model and each ablation on `groups`
+// benchmark groups (representatives variant).
+func (e *Env) Ablations(groups int) (*AblationResult, error) {
+	if groups < 1 || groups > core.NumGroups {
+		groups = 4
+	}
+	var words [][]uint32
+	rng := e.rng(810)
+	for g := 0; g < groups; g++ {
+		w, err := core.CombinationGroup(g, rng, false)
+		if err != nil {
+			return nil, err
+		}
+		words = append(words, w)
+	}
+	score := func(opts core.ModelOptions) (acc, rmse float64, err error) {
+		m := e.Model.WithOptions(opts)
+		for _, w := range words {
+			cmp, err := e.score(m, nil, w)
+			if err != nil {
+				return 0, 0, err
+			}
+			acc += cmp.Accuracy
+			rmse += cmp.RMSE
+		}
+		n := float64(len(words))
+		return acc / n, rmse / n, nil
+	}
+	full, fullRMSE, err := score(core.FullModel())
+	if err != nil {
+		return nil, err
+	}
+	res := &AblationResult{Full: full, FullRMSE: fullRMSE}
+	variants := []struct {
+		name string
+		mod  func(*core.ModelOptions)
+	}{
+		{"single source (Fig 2)", func(o *core.ModelOptions) { o.PerStageSources = false }},
+		{"average activity (Fig 3)", func(o *core.ModelOptions) { o.Activity = core.ActivityAverage }},
+		{"no activity factor", func(o *core.ModelOptions) { o.Activity = core.ActivityNone }},
+		{"no stall model (Fig 5)", func(o *core.ModelOptions) { o.ModelStalls = false }},
+		{"no cache model (Fig 6)", func(o *core.ModelOptions) { o.ModelCache = false }},
+		{"no flush model (Fig 7)", func(o *core.ModelOptions) { o.ModelFlush = false }},
+	}
+	for _, v := range variants {
+		opts := core.FullModel()
+		v.mod(&opts)
+		acc, rmse, err := score(opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AblationRow{Name: v.name, Options: opts, Accuracy: acc, RMSE: rmse, Drop: full - acc})
+	}
+	return res, nil
+}
+
+func (r *AblationResult) String() string {
+	rows := [][]string{{"full model", fmtPct(r.Full), "-", fmt.Sprintf("%.3f", r.FullRMSE), "-"}}
+	for _, a := range r.Rows {
+		rows = append(rows, []string{
+			a.Name, fmtPct(a.Accuracy), fmt.Sprintf("%+.1f", -100*a.Drop),
+			fmt.Sprintf("%.3f", a.RMSE), fmt.Sprintf("x%.1f", safeRatio(a.RMSE, r.FullRMSE)),
+		})
+	}
+	return "Model-feature ablations on the combination benchmark\n" +
+		table([]string{"model", "accuracy", "points", "RMSE", "vs full"}, rows)
+}

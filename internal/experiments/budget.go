@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"emsim/internal/core"
+)
+
+// Training-budget sensitivity study. The paper's campaign records 1000
+// oscilloscope captures per sequence and thousands of sequences (§III-B);
+// a natural adopter question is how accuracy degrades when the
+// measurement budget shrinks. This study retrains the model at reduced
+// campaign sizes — fewer averaging runs per sequence and fewer
+// random-operand probes per cluster — and scores each against the same
+// held-out programs the robustness studies use.
+
+// BudgetPoint is one retrained campaign size and its accuracy.
+type BudgetPoint struct {
+	// Runs is the measurement-averaging count per training sequence.
+	Runs int
+	// InstancesPerCluster is the number of phase-2 random-operand probes.
+	InstancesPerCluster int
+	// Accuracy is the mean per-cycle correlation on held-out programs.
+	Accuracy float64
+}
+
+// BudgetResult holds the training-budget sweep, largest budget first.
+type BudgetResult struct {
+	Points []BudgetPoint
+}
+
+// TrainingBudgetStudy retrains at a ladder of shrinking measurement
+// budgets and reports held-out accuracy for each. The full-budget rung
+// reproduces the Env's own training configuration.
+func (e *Env) TrainingBudgetStudy() (*BudgetResult, error) {
+	progs, err := e.robustnessPrograms(2)
+	if err != nil {
+		return nil, err
+	}
+	ladder := []struct{ runs, instances int }{
+		{30, 40}, // the default campaign
+		{10, 40}, // noisier per-sequence estimates
+		{30, 10}, // starved activity-factor regression
+		{3, 10},  // both cut to the bone
+	}
+	res := &BudgetResult{}
+	for _, rung := range ladder {
+		m, err := core.Train(e.Dev, core.TrainOptions{
+			Seed:                e.Seed,
+			Runs:                rung.runs,
+			InstancesPerCluster: rung.instances,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: budget %d/%d: %w", rung.runs, rung.instances, err)
+		}
+		acc, err := e.meanAccuracyOn(m, nil, progs)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, BudgetPoint{
+			Runs:                rung.runs,
+			InstancesPerCluster: rung.instances,
+			Accuracy:            acc,
+		})
+	}
+	return res, nil
+}
+
+func (r *BudgetResult) String() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.Runs),
+			fmt.Sprintf("%d", p.InstancesPerCluster),
+			fmtPct(p.Accuracy),
+		}
+	}
+	return "training-budget sensitivity (§III-B campaign size)\n" +
+		table([]string{"runs/seq", "probes/cluster", "accuracy"}, rows) +
+		"(the paper trains at full budget; accuracy should degrade gracefully, not collapse)\n"
+}

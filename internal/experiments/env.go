@@ -1,0 +1,120 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V) and use-case (§VI) sections. Each experiment is a
+// method on Env returning a printable result; cmd/emsim-bench runs them
+// all and EXPERIMENTS.md records the measured outcomes next to the
+// paper's. Absolute numbers differ (the substrate is a synthetic device,
+// not the authors' FPGA + probe), but the qualitative shape — which model
+// wins, what breaks when a feature is ablated, where crossovers fall — is
+// the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"emsim/internal/core"
+	"emsim/internal/device"
+)
+
+// Env is a lazily-trained (device, model) pair shared by the experiments,
+// playing the role of the paper's measurement bench.
+type Env struct {
+	Dev   *device.Device
+	Model *core.Model
+	// Runs is the measurement-averaging count used by experiments.
+	Runs int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+// EnvOptions configures NewEnv.
+type EnvOptions struct {
+	Device device.Options
+	Train  core.TrainOptions
+	Runs   int
+	Seed   int64
+}
+
+// DefaultEnvOptions returns the configuration used for the recorded
+// results in EXPERIMENTS.md.
+func DefaultEnvOptions() EnvOptions {
+	return EnvOptions{
+		Device: device.DefaultOptions(),
+		Train:  core.TrainOptions{},
+		Runs:   10,
+		Seed:   1,
+	}
+}
+
+// NewEnv builds the device and trains the model.
+func NewEnv(opts EnvOptions) (*Env, error) {
+	if opts.Runs == 0 {
+		opts.Runs = 10
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	dev, err := device.New(opts.Device)
+	if err != nil {
+		return nil, err
+	}
+	m, err := core.Train(dev, opts.Train)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training: %w", err)
+	}
+	return &Env{Dev: dev, Model: m, Runs: opts.Runs, Seed: opts.Seed}, nil
+}
+
+// rng returns a fresh deterministic generator for one experiment, salted
+// so experiments do not share streams.
+func (e *Env) rng(salt int64) *rand.Rand {
+	return rand.New(rand.NewSource(e.Seed*7919 + salt))
+}
+
+// score measures words on dev (or e.Dev when nil) and compares against
+// the model variant.
+func (e *Env) score(m *core.Model, dev *device.Device, words []uint32) (*core.Comparison, error) {
+	if dev == nil {
+		dev = e.Dev
+	}
+	return m.CompareOnDevice(dev, words, e.Runs)
+}
+
+// fmtPct renders an accuracy in the paper's percentage style.
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// table renders rows of aligned columns for experiment output.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package isa
+
+// Constructor helpers for building instruction sequences programmatically.
+// These read like assembly in Go source:
+//
+//	prog := []isa.Inst{
+//		isa.Addi(isa.T0, isa.Zero, 5),
+//		isa.Add(isa.T1, isa.T0, isa.T0),
+//		isa.Ebreak(),
+//	}
+//
+// The experiment harness and the AES program generator rely on them heavily.
+
+// Add returns add rd, rs1, rs2.
+func Add(rd, rs1, rs2 Reg) Inst { return Inst{Op: ADD, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Sub returns sub rd, rs1, rs2.
+func Sub(rd, rs1, rs2 Reg) Inst { return Inst{Op: SUB, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Sll returns sll rd, rs1, rs2.
+func Sll(rd, rs1, rs2 Reg) Inst { return Inst{Op: SLL, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Slt returns slt rd, rs1, rs2.
+func Slt(rd, rs1, rs2 Reg) Inst { return Inst{Op: SLT, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Sltu returns sltu rd, rs1, rs2.
+func Sltu(rd, rs1, rs2 Reg) Inst { return Inst{Op: SLTU, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Xor returns xor rd, rs1, rs2.
+func Xor(rd, rs1, rs2 Reg) Inst { return Inst{Op: XOR, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Srl returns srl rd, rs1, rs2.
+func Srl(rd, rs1, rs2 Reg) Inst { return Inst{Op: SRL, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Sra returns sra rd, rs1, rs2.
+func Sra(rd, rs1, rs2 Reg) Inst { return Inst{Op: SRA, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Or returns or rd, rs1, rs2.
+func Or(rd, rs1, rs2 Reg) Inst { return Inst{Op: OR, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// And returns and rd, rs1, rs2.
+func And(rd, rs1, rs2 Reg) Inst { return Inst{Op: AND, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Mul returns mul rd, rs1, rs2.
+func Mul(rd, rs1, rs2 Reg) Inst { return Inst{Op: MUL, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Mulh returns mulh rd, rs1, rs2.
+func Mulh(rd, rs1, rs2 Reg) Inst { return Inst{Op: MULH, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Mulhsu returns mulhsu rd, rs1, rs2.
+func Mulhsu(rd, rs1, rs2 Reg) Inst { return Inst{Op: MULHSU, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Mulhu returns mulhu rd, rs1, rs2.
+func Mulhu(rd, rs1, rs2 Reg) Inst { return Inst{Op: MULHU, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Div returns div rd, rs1, rs2.
+func Div(rd, rs1, rs2 Reg) Inst { return Inst{Op: DIV, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Divu returns divu rd, rs1, rs2.
+func Divu(rd, rs1, rs2 Reg) Inst { return Inst{Op: DIVU, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Rem returns rem rd, rs1, rs2.
+func Rem(rd, rs1, rs2 Reg) Inst { return Inst{Op: REM, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Remu returns remu rd, rs1, rs2.
+func Remu(rd, rs1, rs2 Reg) Inst { return Inst{Op: REMU, Rd: rd, Rs1: rs1, Rs2: rs2} }
+
+// Addi returns addi rd, rs1, imm.
+func Addi(rd, rs1 Reg, imm int32) Inst { return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Slti returns slti rd, rs1, imm.
+func Slti(rd, rs1 Reg, imm int32) Inst { return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Sltiu returns sltiu rd, rs1, imm.
+func Sltiu(rd, rs1 Reg, imm int32) Inst { return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Xori returns xori rd, rs1, imm.
+func Xori(rd, rs1 Reg, imm int32) Inst { return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Ori returns ori rd, rs1, imm.
+func Ori(rd, rs1 Reg, imm int32) Inst { return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Andi returns andi rd, rs1, imm.
+func Andi(rd, rs1 Reg, imm int32) Inst { return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: imm} }
+
+// Slli returns slli rd, rs1, shamt.
+func Slli(rd, rs1 Reg, shamt int32) Inst { return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: shamt} }
+
+// Srli returns srli rd, rs1, shamt.
+func Srli(rd, rs1 Reg, shamt int32) Inst { return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: shamt} }
+
+// Srai returns srai rd, rs1, shamt.
+func Srai(rd, rs1 Reg, shamt int32) Inst { return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: shamt} }
+
+// Lb returns lb rd, off(rs1).
+func Lb(rd, rs1 Reg, off int32) Inst { return Inst{Op: LB, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Lh returns lh rd, off(rs1).
+func Lh(rd, rs1 Reg, off int32) Inst { return Inst{Op: LH, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Lw returns lw rd, off(rs1).
+func Lw(rd, rs1 Reg, off int32) Inst { return Inst{Op: LW, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Lbu returns lbu rd, off(rs1).
+func Lbu(rd, rs1 Reg, off int32) Inst { return Inst{Op: LBU, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Lhu returns lhu rd, off(rs1).
+func Lhu(rd, rs1 Reg, off int32) Inst { return Inst{Op: LHU, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Sb returns sb rs2, off(rs1).
+func Sb(rs2, rs1 Reg, off int32) Inst { return Inst{Op: SB, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Sh returns sh rs2, off(rs1).
+func Sh(rs2, rs1 Reg, off int32) Inst { return Inst{Op: SH, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Sw returns sw rs2, off(rs1).
+func Sw(rs2, rs1 Reg, off int32) Inst { return Inst{Op: SW, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Beq returns beq rs1, rs2, off.
+func Beq(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BEQ, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Bne returns bne rs1, rs2, off.
+func Bne(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BNE, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Blt returns blt rs1, rs2, off.
+func Blt(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BLT, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Bge returns bge rs1, rs2, off.
+func Bge(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BGE, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Bltu returns bltu rs1, rs2, off.
+func Bltu(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BLTU, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Bgeu returns bgeu rs1, rs2, off.
+func Bgeu(rs1, rs2 Reg, off int32) Inst { return Inst{Op: BGEU, Rs1: rs1, Rs2: rs2, Imm: off} }
+
+// Lui returns lui rd, imm20 (imm is the raw 20-bit field).
+func Lui(rd Reg, imm20 int32) Inst { return Inst{Op: LUI, Rd: rd, Imm: imm20} }
+
+// Auipc returns auipc rd, imm20.
+func Auipc(rd Reg, imm20 int32) Inst { return Inst{Op: AUIPC, Rd: rd, Imm: imm20} }
+
+// Jal returns jal rd, off.
+func Jal(rd Reg, off int32) Inst { return Inst{Op: JAL, Rd: rd, Imm: off} }
+
+// Jalr returns jalr rd, off(rs1).
+func Jalr(rd, rs1 Reg, off int32) Inst { return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: off} }
+
+// Ecall returns the environment-call instruction (halts the simulated core).
+func Ecall() Inst { return Inst{Op: ECALL} }
+
+// Ebreak returns the breakpoint instruction (halts the simulated core).
+func Ebreak() Inst { return Inst{Op: EBREAK} }
+
+// Nop returns the canonical no-op, addi x0, x0, 0.
+func Nop() Inst { return NOP }
+
+// Li expands "load immediate" into LUI+ADDI (or a single ADDI when the value
+// fits in 12 signed bits), the standard RISC-V materialization sequence.
+func Li(rd Reg, v int32) []Inst {
+	if v >= -2048 && v <= 2047 {
+		return []Inst{Addi(rd, Zero, v)}
+	}
+	upper := (v + 0x800) >> 12 // round so the signed low part recombines
+	lower := v - upper<<12
+	return []Inst{Lui(rd, upper&0xFFFFF), Addi(rd, rd, lower)}
+}
+
+// Mv returns the canonical register move, addi rd, rs, 0.
+func Mv(rd, rs Reg) Inst { return Addi(rd, rs, 0) }

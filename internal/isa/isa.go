@@ -1,0 +1,387 @@
+// Package isa defines the RV32IM instruction set used throughout EMSim: the
+// instruction mnemonics, binary encodings, register names, and the
+// instruction-cluster taxonomy from Table I of the paper.
+//
+// The package is deliberately self-contained: it knows nothing about the
+// pipeline or the EM model. Encoding follows the RISC-V unprivileged spec
+// v2.2 for the base RV32I set plus the "M" multiply/divide extension, which
+// is exactly the ISA the paper's FPGA processor implements.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the 32 integer registers x0..x31.
+type Reg uint8
+
+// Symbolic names for the registers in the standard RISC-V ABI.
+const (
+	X0 Reg = iota
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	X16
+	X17
+	X18
+	X19
+	X20
+	X21
+	X22
+	X23
+	X24
+	X25
+	X26
+	X27
+	X28
+	X29
+	X30
+	X31
+
+	Zero = X0 // hard-wired zero
+	RA   = X1 // return address
+	SP   = X2 // stack pointer
+	GP   = X3 // global pointer
+	TP   = X4 // thread pointer
+	T0   = X5 // temporaries
+	T1   = X6
+	T2   = X7
+	S0   = X8 // saved registers / frame pointer
+	S1   = X9
+	A0   = X10 // argument / return registers
+	A1   = X11
+	A2   = X12
+	A3   = X13
+	A4   = X14
+	A5   = X15
+	A6   = X16
+	A7   = X17
+	S2   = X18
+	S3   = X19
+	S4   = X20
+	S5   = X21
+	S6   = X22
+	S7   = X23
+	S8   = X24
+	S9   = X25
+	S10  = X26
+	S11  = X27
+	T3   = X28
+	T4   = X29
+	T5   = X30
+	T6   = X31
+)
+
+// NumRegs is the size of the integer register file.
+const NumRegs = 32
+
+var abiNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register ("zero", "ra", "a0", ...).
+func (r Reg) String() string {
+	if int(r) < len(abiNames) {
+		return abiNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op enumerates every RV32IM mnemonic the simulator understands.
+type Op uint8
+
+// The instruction mnemonics of RV32IM. The order groups instructions by
+// encoding format; Format returns the format of each.
+const (
+	// OpInvalid is the zero Op; it never decodes from a valid word.
+	OpInvalid Op = iota
+
+	// RV32I register-register (R-type).
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+
+	// M extension (R-type).
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+
+	// Register-immediate (I-type).
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+
+	// Loads (I-type).
+	LB
+	LH
+	LW
+	LBU
+	LHU
+
+	// Stores (S-type).
+	SB
+	SH
+	SW
+
+	// Branches (B-type).
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	// Upper-immediate (U-type).
+	LUI
+	AUIPC
+
+	// Jumps.
+	JAL  // J-type
+	JALR // I-type
+
+	// System (I-type, imm selects the call).
+	ECALL
+	EBREAK
+
+	// FENCE is accepted and executed as a no-op, as on the paper's
+	// single-hart in-order core.
+	FENCE
+
+	numOps
+)
+
+// NumOps is the number of valid mnemonics (excluding OpInvalid).
+const NumOps = int(numOps) - 1
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	ADD:       "add", SUB: "sub", SLL: "sll", SLT: "slt", SLTU: "sltu",
+	XOR: "xor", SRL: "srl", SRA: "sra", OR: "or", AND: "and",
+	MUL: "mul", MULH: "mulh", MULHSU: "mulhsu", MULHU: "mulhu",
+	DIV: "div", DIVU: "divu", REM: "rem", REMU: "remu",
+	ADDI: "addi", SLTI: "slti", SLTIU: "sltiu", XORI: "xori",
+	ORI: "ori", ANDI: "andi", SLLI: "slli", SRLI: "srli", SRAI: "srai",
+	LB: "lb", LH: "lh", LW: "lw", LBU: "lbu", LHU: "lhu",
+	SB: "sb", SH: "sh", SW: "sw",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	LUI: "lui", AUIPC: "auipc",
+	JAL: "jal", JALR: "jalr",
+	ECALL: "ecall", EBREAK: "ebreak", FENCE: "fence",
+}
+
+// String returns the lower-case assembler mnemonic.
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined mnemonic.
+func (o Op) Valid() bool { return o > OpInvalid && o < numOps }
+
+// Format identifies the RISC-V encoding format of an instruction.
+type Format uint8
+
+// The six base encoding formats.
+const (
+	FormatR Format = iota // register-register
+	FormatI               // register-immediate, loads, JALR, system
+	FormatS               // stores
+	FormatB               // conditional branches
+	FormatU               // LUI / AUIPC
+	FormatJ               // JAL
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatR:
+		return "R"
+	case FormatI:
+		return "I"
+	case FormatS:
+		return "S"
+	case FormatB:
+		return "B"
+	case FormatU:
+		return "U"
+	case FormatJ:
+		return "J"
+	}
+	return "?"
+}
+
+// Format returns the encoding format of the mnemonic.
+func (o Op) Format() Format {
+	switch o {
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		return FormatR
+	case SB, SH, SW:
+		return FormatS
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return FormatB
+	case LUI, AUIPC:
+		return FormatU
+	case JAL:
+		return FormatJ
+	default:
+		return FormatI
+	}
+}
+
+// IsLoad reports whether o reads data memory.
+func (o Op) IsLoad() bool {
+	switch o {
+	case LB, LH, LW, LBU, LHU:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether o writes data memory.
+func (o Op) IsStore() bool {
+	switch o {
+	case SB, SH, SW:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool {
+	switch o {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether o is an unconditional control transfer.
+func (o Op) IsJump() bool { return o == JAL || o == JALR }
+
+// IsMulDiv reports whether o uses the multi-cycle multiply/divide unit.
+func (o Op) IsMulDiv() bool {
+	switch o {
+	case MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		return true
+	}
+	return false
+}
+
+// IsSystem reports whether o is ECALL or EBREAK, which halt the simulated
+// core (the paper models bare-metal execution only).
+func (o Op) IsSystem() bool { return o == ECALL || o == EBREAK }
+
+// WritesRd reports whether the instruction architecturally writes a
+// destination register. Writes to x0 are still "writes" at this level; the
+// register file discards them.
+func (o Op) WritesRd() bool {
+	switch o.Format() {
+	case FormatS, FormatB:
+		return false
+	}
+	return !o.IsSystem() && o != FENCE
+}
+
+// ReadsRs1 reports whether the instruction reads its rs1 field.
+func (o Op) ReadsRs1() bool {
+	switch o.Format() {
+	case FormatU, FormatJ:
+		return false
+	}
+	return !o.IsSystem() && o != FENCE
+}
+
+// ReadsRs2 reports whether the instruction reads its rs2 field.
+func (o Op) ReadsRs2() bool {
+	switch o.Format() {
+	case FormatR, FormatS, FormatB:
+		return true
+	}
+	return false
+}
+
+// Inst is a decoded instruction. The zero value is an invalid instruction.
+//
+// Imm holds the sign-extended immediate for I/S/B/U/J formats (for U format
+// it is the *un-shifted* 20-bit value placed in bits 31:12 at encode time;
+// Value semantics are handled by the pipeline).
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// NOP is the canonical no-operation: addi x0, x0, 0. The paper uses NOP as
+// the minimum-activity baseline instruction.
+var NOP = Inst{Op: ADDI, Rd: X0, Rs1: X0, Imm: 0}
+
+// IsNOP reports whether the instruction is the canonical NOP encoding.
+func (i Inst) IsNOP() bool {
+	return i.Op == ADDI && i.Rd == X0 && i.Rs1 == X0 && i.Imm == 0
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	switch i.Op.Format() {
+	case FormatR:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FormatI:
+		switch {
+		case i.Op.IsLoad():
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+		case i.Op == JALR:
+			return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+		case i.Op.IsSystem() || i.Op == FENCE:
+			return i.Op.String()
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+		}
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case FormatU:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", i.Op, i.Rd, i.Imm)
+	}
+	return "invalid"
+}

@@ -1,0 +1,147 @@
+package leakage
+
+import (
+	"math/rand"
+	"testing"
+
+	"emsim/internal/aes"
+)
+
+// synthTraces builds Hamming-weight-leaky traces for a planted key: the
+// sample at `leakAt` carries HW(sbox(pt ^ key)) plus noise.
+func synthTraces(t *testing.T, key byte, n, width, leakAt int, noise float64) (traces [][]float64, hyps [][]float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		pt := byte(r.Intn(256))
+		tr := make([]float64, width)
+		for s := range tr {
+			tr[s] = r.NormFloat64() * noise
+		}
+		tr[leakAt] += HammingWeight(uint32(aes.SBox(pt ^ key)))
+		traces = append(traces, tr)
+		h := make([]float64, 256)
+		for g := 0; g < 256; g++ {
+			h[g] = HammingWeight(uint32(aes.SBox(pt ^ byte(g))))
+		}
+		hyps = append(hyps, h)
+	}
+	return traces, hyps
+}
+
+func TestCPARecoversPlantedKey(t *testing.T) {
+	const key = 0x9C
+	traces, hyps := synthTraces(t, key, 120, 40, 23, 0.8)
+	res, err := CPA(traces, hyps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestGuess != key {
+		t.Fatalf("recovered key %#02x, want %#02x (rank of truth: %d)",
+			res.BestGuess, key, res.Rank(key))
+	}
+	if res.PeakAt[key] != 23 {
+		t.Errorf("peak at sample %d, want 23", res.PeakAt[key])
+	}
+	if res.Margin() < 1.5 {
+		t.Errorf("margin %.2f too small for a clean synthetic leak", res.Margin())
+	}
+}
+
+func TestCPANoLeakNoConfidence(t *testing.T) {
+	// Pure noise: the best guess must not stand out.
+	r := rand.New(rand.NewSource(78))
+	var traces, hyps [][]float64
+	for i := 0; i < 80; i++ {
+		tr := make([]float64, 30)
+		for s := range tr {
+			tr[s] = r.NormFloat64()
+		}
+		traces = append(traces, tr)
+		pt := byte(r.Intn(256))
+		h := make([]float64, 256)
+		for g := 0; g < 256; g++ {
+			h[g] = HammingWeight(uint32(aes.SBox(pt ^ byte(g))))
+		}
+		hyps = append(hyps, h)
+	}
+	res, err := CPA(traces, hyps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Margin() > 1.5 {
+		t.Errorf("margin %.2f on pure noise", res.Margin())
+	}
+}
+
+func TestCPAErrors(t *testing.T) {
+	good := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	hyp := [][]float64{{1}, {2}, {3}}
+	if _, err := CPA(good[:2], hyp[:2]); err == nil {
+		t.Error("too few traces accepted")
+	}
+	if _, err := CPA(good, hyp[:2]); err == nil {
+		t.Error("mismatched counts accepted")
+	}
+	if _, err := CPA([][]float64{{1, 2}, {3}, {5, 6}}, hyp); err == nil {
+		t.Error("ragged traces accepted")
+	}
+	if _, err := CPA(good, [][]float64{{1}, {2, 9}, {3}}); err == nil {
+		t.Error("ragged hypotheses accepted")
+	}
+	if _, err := CPA(good, [][]float64{{}, {}, {}}); err == nil {
+		t.Error("zero candidates accepted")
+	}
+}
+
+func TestCPAConstantColumnsIgnored(t *testing.T) {
+	// A constant hypothesis column or constant trace sample must simply
+	// score zero, not NaN.
+	traces := [][]float64{{1, 7}, {2, 7}, {3, 7}}
+	hyps := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	res, err := CPA(traces, hyps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakCorr[0] != 0 {
+		t.Errorf("constant hypothesis scored %v", res.PeakCorr[0])
+	}
+	if res.BestGuess != 1 {
+		t.Errorf("best guess %d, want 1", res.BestGuess)
+	}
+	if res.PeakAt[1] != 0 {
+		t.Errorf("peak at constant sample %d", res.PeakAt[1])
+	}
+}
+
+func TestHammingWeight(t *testing.T) {
+	cases := map[uint32]float64{0: 0, 1: 1, 0xFF: 8, 0xFFFFFFFF: 32, 0xA5: 4}
+	for v, want := range cases {
+		if got := HammingWeight(v); got != want {
+			t.Errorf("HW(%#x) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func BenchmarkCPA(b *testing.B) {
+	r := rand.New(rand.NewSource(79))
+	var traces, hyps [][]float64
+	for i := 0; i < 100; i++ {
+		tr := make([]float64, 200)
+		for s := range tr {
+			tr[s] = r.NormFloat64()
+		}
+		traces = append(traces, tr)
+		h := make([]float64, 256)
+		for g := range h {
+			h[g] = float64(r.Intn(9))
+		}
+		hyps = append(hyps, h)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CPA(traces, hyps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package mem implements the memory hierarchy of the simulated processor: a
+// flat little-endian byte-addressed main memory and a configurable cache
+// with the latency model from §II-A of the paper (a cache hit costs one
+// extra cycle; a miss costs two further cycles on top of that).
+package mem
+
+import "fmt"
+
+// Memory is a sparse little-endian byte-addressable main memory. Reads of
+// unwritten locations return zero, matching an initialized FPGA block RAM.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+const (
+	pageBits = 12
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*page)}
+}
+
+func (m *Memory) pageFor(addr uint32, create bool) *page {
+	idx := addr >> pageBits
+	p := m.pages[idx]
+	if p == nil && create {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr.
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.pageFor(addr, true)[addr&pageMask] = b
+}
+
+// ReadWord returns the 32-bit little-endian word at addr. The address need
+// not be aligned; the simulated core enforces its own alignment policy.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	return uint32(m.LoadByte(addr)) |
+		uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 |
+		uint32(m.LoadByte(addr+3))<<24
+}
+
+// WriteWord stores a 32-bit little-endian word at addr.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// ReadHalf returns the 16-bit little-endian halfword at addr.
+func (m *Memory) ReadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// WriteHalf stores a 16-bit little-endian halfword at addr.
+func (m *Memory) WriteHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// LoadBytes copies data into memory starting at addr.
+func (m *Memory) LoadBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint32(i), b)
+	}
+}
+
+// LoadWords copies 32-bit words into memory starting at addr.
+func (m *Memory) LoadWords(addr uint32, words []uint32) {
+	for i, w := range words {
+		m.WriteWord(addr+uint32(4*i), w)
+	}
+}
+
+// Reset discards all contents.
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*page)
+}
+
+// CacheConfig describes the data cache geometry and the latency model.
+// The paper's processor has a 32 KB cache; an access that hits stalls the
+// pipeline for HitLatency extra cycles (1 in the paper) and a miss stalls
+// for HitLatency+MissPenalty cycles (1+2 = 3 total in the paper, visible as
+// "two extra stall cycles" in Figure 6).
+type CacheConfig struct {
+	SizeBytes   int // total capacity (default 32 KiB)
+	LineBytes   int // line size (default 32)
+	Ways        int // associativity (default 2)
+	HitLatency  int // extra stall cycles on a hit (default 1)
+	MissPenalty int // further stall cycles on a miss (default 2)
+}
+
+// DefaultCacheConfig returns the configuration described in §II-A.
+func DefaultCacheConfig() CacheConfig {
+	return CacheConfig{
+		SizeBytes:   32 * 1024,
+		LineBytes:   32,
+		Ways:        2,
+		HitLatency:  1,
+		MissPenalty: 2,
+	}
+}
+
+func (c CacheConfig) validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.SizeBytes&(c.SizeBytes-1) != 0:
+		return fmt.Errorf("mem: cache size %d is not a positive power of two", c.SizeBytes)
+	case c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("mem: line size %d is not a positive power of two", c.LineBytes)
+	case c.Ways <= 0:
+		return fmt.Errorf("mem: ways %d must be positive", c.Ways)
+	case c.SizeBytes < c.LineBytes*c.Ways:
+		return fmt.Errorf("mem: cache of %d bytes cannot hold %d ways of %d-byte lines",
+			c.SizeBytes, c.Ways, c.LineBytes)
+	case c.HitLatency < 0 || c.MissPenalty < 0:
+		return fmt.Errorf("mem: negative latency")
+	}
+	return nil
+}
+
+// Cache models a set-associative write-through data cache with LRU
+// replacement. It tracks only tags (the backing Memory holds the data),
+// which is sufficient for timing and for the hit/miss events the EM model
+// needs.
+type Cache struct {
+	cfg     CacheConfig
+	sets    int
+	lineOff uint32 // log2(LineBytes)
+	tags    [][]uint32
+	valid   [][]bool
+	lruTick [][]uint64
+	tick    uint64
+
+	hits, misses uint64
+}
+
+// NewCache builds a cache from cfg, or returns an error for impossible
+// geometries.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("mem: derived set count %d is not a power of two", sets)
+	}
+	c := &Cache{cfg: cfg, sets: sets}
+	for sz := cfg.LineBytes; sz > 1; sz >>= 1 {
+		c.lineOff++
+	}
+	c.tags = make([][]uint32, sets)
+	c.valid = make([][]bool, sets)
+	c.lruTick = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint32, cfg.Ways)
+		c.valid[i] = make([]bool, cfg.Ways)
+		c.lruTick[i] = make([]uint64, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNewCache is NewCache for known-good configurations; it panics on error.
+func MustNewCache(cfg CacheConfig) *Cache {
+	c, err := NewCache(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	line := addr >> c.lineOff
+	return int(line) & (c.sets - 1), line / uint32(c.sets)
+}
+
+// Access simulates one access to addr and returns whether it hit plus the
+// number of extra stall cycles the pipeline must insert. Misses allocate
+// the line (loads and stores both allocate, write-through keeps memory
+// authoritative so no writeback traffic is modeled).
+func (c *Cache) Access(addr uint32) (hit bool, stallCycles int) {
+	c.tick++
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lruTick[set][w] = c.tick
+			c.hits++
+			return true, c.cfg.HitLatency
+		}
+	}
+	// Miss: fill the LRU (or first invalid) way.
+	victim := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lruTick[set][w] < c.lruTick[set][victim] {
+			victim = w
+		}
+	}
+	c.tags[set][victim] = tag
+	c.valid[set][victim] = true
+	c.lruTick[set][victim] = c.tick
+	c.misses++
+	return false, c.cfg.HitLatency + c.cfg.MissPenalty
+}
+
+// Probe reports whether addr would hit, without changing cache state.
+func (c *Cache) Probe(addr uint32) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Warm pre-loads the line containing addr without counting statistics,
+// used by experiments that need a guaranteed hit.
+func (c *Cache) Warm(addr uint32) {
+	h, _ := c.Access(addr)
+	if h {
+		c.hits--
+	} else {
+		c.misses--
+	}
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for s := range c.valid {
+		for w := range c.valid[s] {
+			c.valid[s][w] = false
+			c.lruTick[s][w] = 0
+		}
+	}
+	c.tick = 0
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// ResetStats zeroes the hit/miss counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }

@@ -1,0 +1,137 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x with an iterative
+// radix-2 Cooley–Tukey algorithm. The input length must be a power of
+// two; use NextPow2/PadPow2 to prepare arbitrary lengths.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("signal: FFT length %d is not a power of two", n)
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := out[i+j]
+				v := out[i+j+length/2] * w
+				out[i+j] = u + v
+				out[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse DFT (same power-of-two restriction).
+func IFFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	y, err := FFT(conj)
+	if err != nil {
+		return nil, err
+	}
+	for i := range y {
+		y[i] = cmplx.Conj(y[i]) / complex(float64(n), 0)
+	}
+	return y, nil
+}
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// PadPow2 zero-pads x to the next power-of-two length.
+func PadPow2(x []float64) []complex128 {
+	n := NextPow2(len(x))
+	out := make([]complex128, n)
+	for i, v := range x {
+		out[i] = complex(v, 0)
+	}
+	return out
+}
+
+// PowerSpectrum returns the one-sided power spectral density estimate of
+// x sampled at sampleRate: frequencies [0, fs/2] and the power at each.
+// x is zero-padded to a power of two.
+func PowerSpectrum(x []float64, sampleRate float64) (freqs, power []float64, err error) {
+	if len(x) == 0 {
+		return nil, nil, fmt.Errorf("signal: power spectrum of empty signal")
+	}
+	if sampleRate <= 0 {
+		return nil, nil, fmt.Errorf("signal: sample rate %g must be positive", sampleRate)
+	}
+	fx, err := FFT(PadPow2(x))
+	if err != nil {
+		return nil, nil, err
+	}
+	n := len(fx)
+	half := n/2 + 1
+	freqs = make([]float64, half)
+	power = make([]float64, half)
+	for i := 0; i < half; i++ {
+		freqs[i] = float64(i) * sampleRate / float64(n)
+		m := cmplx.Abs(fx[i])
+		p := m * m / float64(n)
+		if i != 0 && i != n/2 {
+			p *= 2 // fold the negative frequencies in
+		}
+		power[i] = p
+	}
+	return freqs, power, nil
+}
+
+// BandEnergy integrates power over [f−bw/2, f+bw/2] — the "energy of the
+// spike" SAVAT measures at the alternation frequency (§VI-A).
+func BandEnergy(freqs, power []float64, f, bw float64) (float64, error) {
+	if len(freqs) != len(power) {
+		return 0, fmt.Errorf("signal: freqs/power length mismatch")
+	}
+	if bw < 0 {
+		return 0, fmt.Errorf("signal: negative bandwidth")
+	}
+	lo, hi := f-bw/2, f+bw/2
+	s := 0.0
+	found := false
+	for i, fr := range freqs {
+		if fr >= lo && fr <= hi {
+			s += power[i]
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("signal: no spectral bins in [%g, %g]", lo, hi)
+	}
+	return s, nil
+}

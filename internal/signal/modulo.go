@@ -1,0 +1,91 @@
+package signal
+
+import "fmt"
+
+// ModuloAverage implements the "modulo operation" of §II-B (Equ. 1): a
+// long capture containing many repetitions of the same noc-cycle sequence
+// is folded onto its fundamental period and averaged, removing additive
+// noise without requiring trigger synchronization.
+//
+// samples is the raw capture; samplePeriod is the instrument's sampling
+// interval T_m step; seqPeriod is the sequence duration T_s = noc × T_clk
+// (same time unit as samplePeriod); bins is the number of points the
+// folded signal is quantized into (typically noc × samplesPerCycle).
+//
+// Each sample at time m·samplePeriod lands in the bin for
+// mod(m·samplePeriod, seqPeriod); bins average their samples. Empty bins
+// (possible when the capture is too short or the rates are commensurate)
+// are filled by linear interpolation from their neighbors.
+func ModuloAverage(samples []float64, samplePeriod, seqPeriod float64, bins int) ([]float64, error) {
+	if samplePeriod <= 0 || seqPeriod <= 0 {
+		return nil, fmt.Errorf("signal: modulo average needs positive periods (%g, %g)", samplePeriod, seqPeriod)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("signal: modulo average needs >= 1 bin (%d)", bins)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("signal: modulo average of empty capture")
+	}
+	sum := make([]float64, bins)
+	count := make([]int, bins)
+	for m, v := range samples {
+		t := float64(m) * samplePeriod
+		// Modular offset Δ_m = mod(T_m, T_s).
+		off := t - float64(int64(t/seqPeriod))*seqPeriod
+		bin := int(off / seqPeriod * float64(bins))
+		if bin >= bins {
+			bin = bins - 1
+		}
+		sum[bin] += v
+		count[bin]++
+	}
+	out := make([]float64, bins)
+	empty := 0
+	for i := range out {
+		if count[i] > 0 {
+			out[i] = sum[i] / float64(count[i])
+		} else {
+			empty++
+		}
+	}
+	if empty == bins {
+		return nil, fmt.Errorf("signal: all %d bins empty", bins)
+	}
+	if empty > 0 {
+		fillEmptyBins(out, count)
+	}
+	return out, nil
+}
+
+// fillEmptyBins linearly interpolates bins with zero counts from the
+// nearest filled neighbors (wrapping around, since the folded signal is
+// periodic).
+func fillEmptyBins(out []float64, count []int) {
+	n := len(out)
+	for i := 0; i < n; i++ {
+		if count[i] > 0 {
+			continue
+		}
+		// Nearest filled neighbors to the left and right (cyclic).
+		li, ri := -1, -1
+		for d := 1; d < n; d++ {
+			if li < 0 && count[(i-d+n*((d/n)+1))%n] > 0 {
+				li = (i - d + n*((d/n)+1)) % n
+			}
+			if ri < 0 && count[(i+d)%n] > 0 {
+				ri = (i + d) % n
+			}
+			if li >= 0 && ri >= 0 {
+				break
+			}
+		}
+		switch {
+		case li >= 0 && ri >= 0:
+			out[i] = (out[li] + out[ri]) / 2
+		case li >= 0:
+			out[i] = out[li]
+		case ri >= 0:
+			out[i] = out[ri]
+		}
+	}
+}

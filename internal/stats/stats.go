@@ -1,0 +1,102 @@
+// Package stats provides the statistical machinery of the paper's model
+// building: ordinary least-squares regression with the F-test-driven
+// stepwise variable selection of §III-B, Welch's t-test for the TVLA
+// leakage metric (§VI-A), descriptive statistics, and the hierarchical
+// agglomerative clustering used to derive Table I.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns mean and sample standard deviation in one pass.
+func MeanStd(xs []float64) (mean, std float64) {
+	mean = Mean(xs)
+	return mean, StdDev(xs)
+}
+
+// Median returns the median of xs (0 for empty input). xs is not modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MinMax returns the extrema of xs; it panics on empty input.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// series, or an error when a series is degenerate (zero variance).
+func Pearson(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: length mismatch %d vs %d", len(a), len(b))
+	}
+	if len(a) < 2 {
+		return 0, fmt.Errorf("stats: need at least 2 samples")
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0, fmt.Errorf("stats: zero-variance series")
+	}
+	return sab / math.Sqrt(saa*sbb), nil
+}

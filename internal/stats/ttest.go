@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// WelchT computes Welch's t statistic for two independent samples with
+// (possibly) unequal variances — the statistic TVLA is built on. It also
+// returns the Welch–Satterthwaite degrees of freedom.
+func WelchT(a, b []float64) (t float64, df float64, err error) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, fmt.Errorf("stats: WelchT needs >= 2 samples per group (%d, %d)", len(a), len(b))
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		if ma == mb {
+			return 0, na + nb - 2, nil
+		}
+		return math.Inf(sign(ma - mb)), na + nb - 2, nil
+	}
+	t = (ma - mb) / se
+	num := (sa + sb) * (sa + sb)
+	den := sa*sa/(na-1) + sb*sb/(nb-1)
+	if den == 0 {
+		df = na + nb - 2
+	} else {
+		df = num / den
+	}
+	return t, df, nil
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+// TVLAThreshold is the conventional |t| > 4.5 pass/fail line of the Test
+// Vector Leakage Assessment methodology.
+const TVLAThreshold = 4.5
+
+// TVLATrace computes the per-sample Welch t statistic between two groups
+// of traces (fixed vs random in the TVLA protocol). Each trace is a slice
+// of samples; all traces must share a length. The result has one t value
+// per sample position.
+func TVLATrace(fixed, random [][]float64) ([]float64, error) {
+	if len(fixed) < 2 || len(random) < 2 {
+		return nil, fmt.Errorf("stats: TVLA needs >= 2 traces per group (%d, %d)", len(fixed), len(random))
+	}
+	width := len(fixed[0])
+	for _, tr := range fixed {
+		if len(tr) != width {
+			return nil, fmt.Errorf("stats: ragged fixed trace")
+		}
+	}
+	for _, tr := range random {
+		if len(tr) != width {
+			return nil, fmt.Errorf("stats: ragged random trace")
+		}
+	}
+	out := make([]float64, width)
+	fcol := make([]float64, len(fixed))
+	rcol := make([]float64, len(random))
+	for s := 0; s < width; s++ {
+		for i, tr := range fixed {
+			fcol[i] = tr[s]
+		}
+		for i, tr := range random {
+			rcol[i] = tr[s]
+		}
+		t, _, err := WelchT(fcol, rcol)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = t
+	}
+	return out, nil
+}
+
+// TVLALeakyPoints returns the indices where |t| exceeds the TVLA
+// threshold.
+func TVLALeakyPoints(t []float64) []int {
+	var out []int
+	for i, v := range t {
+		if math.Abs(v) > TVLAThreshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}
