@@ -325,6 +325,75 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionReuse measures the streaming hot path: one Session
+// simulating the same program back to back, buffers recycled through
+// SimulateProgramInto. Compare cycles/s (and allocs/op) against
+// BenchmarkSimulationThroughput, the legacy per-call pipeline.
+func BenchmarkSessionReuse(b *testing.B) {
+	env := benchEnvironment(b)
+	words, err := CombinationGroup(0, rand.New(rand.NewSource(1)), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess, err := NewSession(env.Model, DefaultCPUConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sig []float64
+	cycles := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sig, err = sess.SimulateProgramInto(sig, words)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += sess.Cycles()
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+	}
+}
+
+// BenchmarkSimulateBatch fans a campaign of programs across worker
+// Sessions, at several worker counts (the sub-benchmark name is the
+// worker count; 0 = GOMAXPROCS).
+func BenchmarkSimulateBatch(b *testing.B) {
+	env := benchEnvironment(b)
+	rng := rand.New(rand.NewSource(2))
+	var programs [][]uint32
+	for i := 0; i < 32; i++ {
+		w, err := MixedProgram(rng, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		programs = append(programs, w)
+	}
+	sess, err := NewSession(env.Model, DefaultCPUConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cycles := 0
+			for i := 0; i < b.N; i++ {
+				res, err := sess.SimulateBatch(programs, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, sig := range res {
+					cycles += len(sig) / env.Model.SamplesPerCycle
+				}
+			}
+			b.StopTimer()
+			if b.Elapsed() > 0 {
+				b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndQuickstart runs the whole user journey once per
 // iteration: assemble, simulate, compare against a measurement.
 func BenchmarkEndToEndQuickstart(b *testing.B) {

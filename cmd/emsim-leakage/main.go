@@ -92,37 +92,29 @@ func runTVLA(dev *emsim.Device, model *emsim.Model, traces int, seed int64, doRe
 	var fixed [16]byte
 	copy(fixed[:], "tvla-fixed-input")
 
-	realSrc := func(input [16]byte) ([]float64, error) {
+	build := func(input [16]byte) ([]uint32, error) {
 		prog, err := emsim.BuildAES(key, input)
 		if err != nil {
 			return nil, err
 		}
-		_, sig, err := dev.Capture(prog.Words)
-		return sig, err
+		return prog.Words, nil
 	}
-	noise := rand.New(rand.NewSource(seed + 99))
-	noiseStd := dev.Options().NoiseStd
-	cfg := dev.Options().CPU
-	simSrc := func(input [16]byte) ([]float64, error) {
-		prog, err := emsim.BuildAES(key, input)
-		if err != nil {
-			return nil, err
-		}
-		_, sig, err := model.SimulateProgram(cfg, prog.Words)
-		if err != nil {
-			return nil, err
-		}
-		for i := range sig {
-			sig[i] += noiseStd * noise.NormFloat64()
-		}
-		return sig, nil
-	}
+	realSrc := emsim.TraceSource(dev.CaptureSource(build))
 
 	fmt.Printf("TVLA on AES-128, %d traces per group, threshold |t| > 4.5\n\n", traces)
 	if doReal {
 		report("real measurements", mustTVLA(realSrc, fixed, seed, traces))
 	}
 	if doSim {
+		// One Session serves the whole campaign: 2×traces AES encryptions
+		// through a resettable core and reused buffers.
+		sess, err := emsim.NewSession(model, dev.Options().CPU)
+		if err != nil {
+			fatal(err)
+		}
+		noise := rand.New(rand.NewSource(seed + 99))
+		noiseStd := dev.Options().NoiseStd
+		simSrc := leakage.SimSource(sess, build, func() float64 { return noiseStd * noise.NormFloat64() })
 		report("simulated signals", mustTVLA(simSrc, fixed, seed, traces))
 	}
 }
@@ -147,7 +139,14 @@ func runSavat(dev *emsim.Device, model *emsim.Model, aName, bName string,
 	matrix bool, perHalf, periods, runs int, doReal, doSim bool) {
 	events := []emsim.SavatInst{emsim.LDM, emsim.LDC, emsim.NOP, emsim.ADD, emsim.MUL, emsim.DIV}
 	spc := dev.SamplesPerCycle()
-	cfg := dev.Options().CPU
+
+	var sess *emsim.Session
+	if doSim {
+		var err error
+		if sess, err = emsim.NewSession(model, dev.Options().CPU); err != nil {
+			fatal(err)
+		}
+	}
 
 	one := func(a, b emsim.SavatInst) (realV, simV float64) {
 		words, err := emsim.SavatProgram(a, b, perHalf, periods)
@@ -164,11 +163,11 @@ func runSavat(dev *emsim.Device, model *emsim.Model, aName, bName string,
 			}
 		}
 		if doSim {
-			str, ssig, err := model.SimulateProgram(cfg, words)
+			ssig, err := sess.SimulateProgram(words)
 			if err != nil {
 				fatal(err)
 			}
-			if simV, err = emsim.Savat(ssig, spc, len(str), periods); err != nil {
+			if simV, err = emsim.Savat(ssig, spc, sess.Cycles(), periods); err != nil {
 				fatal(err)
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"emsim/internal/asm"
 	"emsim/internal/core"
@@ -45,6 +46,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write time,measured,simulated samples to this file")
 	showTrace := flag.Bool("trace", false, "print the per-cycle pipeline occupancy")
 	attribute := flag.Bool("attribute", false, "print the signal attribution by stage and instruction")
+	repeat := flag.Int("repeat", 0, "re-simulate the program N times through one Session and report throughput")
 	runs := flag.Int("runs", 20, "measurement averaging runs")
 	seed := flag.Int64("seed", 1, "training seed")
 	modelPath := flag.String("model", "", "cache the trained model in this file (loaded if it exists)")
@@ -115,6 +117,11 @@ func main() {
 	fmt.Printf("simulated-vs-measured accuracy: %.1f%% (paper reports 94.1%% on its benchmark)\n",
 		100*cmp.Accuracy)
 
+	if *repeat > 0 {
+		if err := reportThroughput(model, dev.Options().CPU, prog.Words, *repeat); err != nil {
+			fatal(err)
+		}
+	}
 	if *showTrace {
 		printTrace(tr)
 	}
@@ -127,6 +134,29 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(cmp.Measured), *csvPath)
 	}
+}
+
+// reportThroughput re-simulates the program through one streaming Session
+// (the campaign hot path: resettable core, reused buffers, ~0 allocations
+// per trace) and prints the sustained simulation rate.
+func reportThroughput(model *core.Model, cfg cpu.Config, words []uint32, n int) error {
+	sess, err := core.NewSession(model, cfg)
+	if err != nil {
+		return err
+	}
+	var sig []float64
+	cycles := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if sig, err = sess.SimulateProgramInto(sig, words); err != nil {
+			return err
+		}
+		cycles += sess.Cycles()
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("session throughput: %d traces (%d cycles) in %v — %.0f cycles/s\n",
+		n, cycles, elapsed.Round(time.Millisecond), float64(cycles)/elapsed.Seconds())
+	return nil
 }
 
 func printTrace(tr cpu.Trace) {

@@ -33,6 +33,23 @@
 //	`)
 //	trace, signal, err := model.SimulateProgram(emsim.DefaultCPUConfig(), prog.Words)
 //
+// # Campaign simulation: the Session hot path
+//
+// SimulateProgram is the one-shot flow: it allocates a core, a full
+// cycle trace and a signal per call. Campaign workloads — TVLA over
+// thousands of AES traces, SAVAT matrices, design-space sweeps — should
+// use a Session instead, the streaming pipeline that owns a resettable
+// core plus reusable amplitude/signal buffers and simulates each trace
+// without materializing intermediates:
+//
+//	sess, err := emsim.NewSession(model, emsim.DefaultCPUConfig())
+//	var sig []float64
+//	for _, words := range programs {
+//	    sig, err = sess.SimulateProgramInto(sig, words) // ~0 allocs steady-state
+//	    ...                                             // consume sig before the next call
+//	}
+//	results, err := sess.SimulateBatch(programs, 0)     // or fan across GOMAXPROCS workers
+//
 // The subsystems live in internal packages; this package re-exports the
 // public surface:
 //
@@ -100,6 +117,9 @@ type (
 	// Model is a trained EMSim instance: simulate any program's EM signal
 	// without further measurements.
 	Model = core.Model
+	// Session is the reusable streaming simulation pipeline: one
+	// resettable core plus buffers, ~0 allocations per simulated trace.
+	Session = core.Session
 	// ModelOptions holds the ablation switches of the paper's
 	// degradation studies.
 	ModelOptions = core.ModelOptions
@@ -145,6 +165,18 @@ func DefaultCPUConfig() CPUConfig { return cpu.DefaultConfig() }
 // NewCPU builds a core; it panics on invalid configuration (use cpu.New
 // via the config's validation error for graceful handling).
 func NewCPU(cfg CPUConfig) *CPU { return cpu.MustNew(cfg) }
+
+// CycleSink consumes per-cycle trace records as a core emits them; see
+// CPU.RunTo and CPU.RunProgramTo for streaming runs that never
+// materialize a Trace.
+type CycleSink = cpu.CycleSink
+
+// NewSession builds a reusable streaming simulation pipeline for
+// repeated simulations under one core configuration. Prefer it over
+// Model.SimulateProgram whenever more than a handful of programs are
+// simulated: steady-state reuse performs ~0 allocations per trace, and
+// SimulateBatch fans a program slice across parallel workers.
+func NewSession(m *Model, cfg CPUConfig) (*Session, error) { return core.NewSession(m, cfg) }
 
 // DefaultDeviceOptions returns the baseline synthetic bench: board #1,
 // probe centered over the die, 16 samples per clock cycle.

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"emsim"
+	"emsim/internal/leakage"
 )
 
 func main() {
@@ -26,34 +27,25 @@ func main() {
 	var fixed [16]byte
 	copy(fixed[:], "tvla-fixed-input")
 
-	// Real source: noisy captures from the device.
-	realSrc := func(input [16]byte) ([]float64, error) {
+	build := func(input [16]byte) ([]uint32, error) {
 		prog, err := emsim.BuildAES(key, input)
 		if err != nil {
 			return nil, err
 		}
-		_, sig, err := dev.Capture(prog.Words)
-		return sig, err
+		return prog.Words, nil
 	}
-	// Simulated source: the model's signal plus the same noise level, so
-	// the t statistics are comparable.
+	// Real source: noisy captures from the device.
+	realSrc := emsim.TraceSource(dev.CaptureSource(build))
+	// Simulated source: one streaming Session renders all 2×40 AES traces
+	// (resettable core, reused buffers), plus the same noise level so the
+	// t statistics are comparable.
+	sess, err := emsim.NewSession(model, dev.Options().CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
 	noise := rand.New(rand.NewSource(99))
 	noiseStd := dev.Options().NoiseStd
-	cfg := dev.Options().CPU
-	simSrc := func(input [16]byte) ([]float64, error) {
-		prog, err := emsim.BuildAES(key, input)
-		if err != nil {
-			return nil, err
-		}
-		_, sig, err := model.SimulateProgram(cfg, prog.Words)
-		if err != nil {
-			return nil, err
-		}
-		for i := range sig {
-			sig[i] += noiseStd * noise.NormFloat64()
-		}
-		return sig, nil
-	}
+	simSrc := leakage.SimSource(sess, build, func() float64 { return noiseStd * noise.NormFloat64() })
 
 	const traces = 40
 	fmt.Printf("running TVLA with %d traces per group...\n\n", traces)

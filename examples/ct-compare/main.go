@@ -15,6 +15,7 @@ import (
 	"emsim"
 	"emsim/internal/asm"
 	"emsim/internal/isa"
+	"emsim/internal/leakage"
 )
 
 // branchyCompare returns a program that compares the 4-byte input block
@@ -72,23 +73,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Simulated trace sources: model output plus a nominal noise floor so
-	// the t-test has variance to work with. No device involved from here
-	// on — this is the design-stage flow.
+	// Simulated trace sources: one streaming Session feeds both
+	// assessments, adding a nominal noise floor so the t-test has variance
+	// to work with. No device involved from here on — this is the
+	// design-stage flow.
+	sess, err := emsim.NewSession(model, dev.Options().CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
 	noiseStd := dev.Options().NoiseStd
-	cfg := dev.Options().CPU
 	makeSrc := func(build func([16]byte) []uint32, seed int64) emsim.TraceSource {
 		noise := rand.New(rand.NewSource(seed))
-		return func(input [16]byte) ([]float64, error) {
-			_, sig, err := model.SimulateProgram(cfg, build(input))
-			if err != nil {
-				return nil, err
-			}
-			for i := range sig {
-				sig[i] += noiseStd * noise.NormFloat64()
-			}
-			return sig, nil
-		}
+		return leakage.SimSource(sess,
+			func(input [16]byte) ([]uint32, error) { return build(input), nil },
+			func() float64 { return noiseStd * noise.NormFloat64() })
 	}
 
 	// Fixed input = the secret (full match, longest branchy path);

@@ -92,12 +92,20 @@ func main() {
 	}
 
 	// Attack phase: for each candidate key, simulate each trace's gadget
-	// and accumulate the squared amplitude distance.
+	// and accumulate the squared amplitude distance. The 256×nTraces
+	// template simulations all stream through one Session with a recycled
+	// signal buffer — this loop is exactly the campaign shape the
+	// streaming pipeline exists for.
 	fmt.Println("matching against simulated templates for all 256 candidates...")
+	sess, err := emsim.NewSession(model, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	scores := make([]float64, 256)
+	var sig []float64
 	for g := 0; g < 256; g++ {
 		for _, cp := range caps {
-			tr, sig, err := model.SimulateProgram(cfg, gadget(cp.pt, byte(g)))
+			sig, err = sess.SimulateProgramInto(sig, gadget(cp.pt, byte(g)))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -113,7 +121,6 @@ func main() {
 				d := cp.amps[c] - pred[c]
 				scores[g] += d * d
 			}
-			_ = tr
 		}
 	}
 

@@ -26,7 +26,11 @@ func main() {
 
 	events := []emsim.SavatInst{emsim.LDM, emsim.LDC, emsim.NOP, emsim.ADD, emsim.MUL, emsim.DIV}
 	spc := dev.SamplesPerCycle()
-	cfg := dev.Options().CPU
+	// One streaming Session renders all 36 simulated microbenchmarks.
+	sess, err := emsim.NewSession(model, dev.Options().CPU)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	measure := func(a, b emsim.SavatInst) (real, sim float64) {
 		words, err := emsim.SavatProgram(a, b, perHalf, periods)
@@ -41,11 +45,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		str, ssig, err := model.SimulateProgram(cfg, words)
+		ssig, err := sess.SimulateProgram(words)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sim, err = emsim.Savat(ssig, spc, len(str), periods)
+		sim, err = emsim.Savat(ssig, spc, sess.Cycles(), periods)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -26,9 +26,9 @@ type Comparison struct {
 }
 
 // CompareOnDevice measures the program on the device (averaged over runs
-// captures), simulates it with the model, and scores the match. The
-// model runs its own core; only the measured waveform comes from the
-// device.
+// captures), simulates it with the model through a streaming Session,
+// and scores the match. The model runs its own core; only the measured
+// waveform comes from the device.
 func (m *Model) CompareOnDevice(dev *device.Device, words []uint32, runs int) (*Comparison, error) {
 	devTrace, measured, err := dev.MeasureAveraged(words, runs)
 	if err != nil {
@@ -36,12 +36,16 @@ func (m *Model) CompareOnDevice(dev *device.Device, words []uint32, runs int) (*
 	}
 	cfg := dev.Options().CPU
 	cfg.BuggyMul = false // the model simulates the intended design
-	tr, simulated, err := m.SimulateProgram(cfg, words)
+	sess, err := NewSession(m, cfg)
 	if err != nil {
 		return nil, err
 	}
-	if len(tr) != len(devTrace) {
-		return nil, fmt.Errorf("core: timing mismatch: model %d cycles, device %d", len(tr), len(devTrace))
+	simulated, err := sess.SimulateProgram(words)
+	if err != nil {
+		return nil, err
+	}
+	if sess.Cycles() != len(devTrace) {
+		return nil, fmt.Errorf("core: timing mismatch: model %d cycles, device %d", sess.Cycles(), len(devTrace))
 	}
 	return m.Compare(measured, simulated)
 }

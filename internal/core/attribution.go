@@ -78,7 +78,7 @@ func (m *Model) Attribute(tr cpu.Trace) *Attribution {
 		c := &tr[i]
 		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
 			st := &c.Stages[s]
-			contrib := math.Abs(m.MISO[s] * m.stageSource(s, st))
+			contrib := math.Abs(m.MISO[s] * m.stageSource(s, st, false))
 			att.StageShare[s] += contrib
 			att.TotalAbs += contrib
 			if st.Bubble || st.Stalled || st.Seq < 0 {

@@ -41,7 +41,7 @@ func (m *Model) probeFit(dev *device.Device, words []uint32, runs int) (*stats.R
 	for n := range tr {
 		fv := make([]float64, cpu.NumStages)
 		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
-			fv[s] = base.stageSource(s, &tr[n].Stages[s])
+			fv[s] = base.stageSource(s, &tr[n].Stages[s], false)
 		}
 		feats[n] = fv
 	}

@@ -263,20 +263,20 @@ func TestModelStallZeroing(t *testing.T) {
 		}
 	}
 	stalled := &cpu.StageTrace{Op: isa.ADD, Inst: isa.Add(isa.T0, isa.T1, isa.T2), Stalled: true}
-	if got := m.stageSource(cpu.EX, stalled); got != 0 {
+	if got := m.stageSource(cpu.EX, stalled, false); got != 0 {
 		t.Errorf("stalled source = %v, want 0", got)
 	}
 	mNoStall := m.WithOptions(ModelOptions{PerStageSources: true, Activity: ActivityNone, ModelCache: true, ModelFlush: true})
-	if got := mNoStall.stageSource(cpu.EX, stalled); got != 1 {
+	if got := mNoStall.stageSource(cpu.EX, stalled, false); got != 1 {
 		t.Errorf("no-stall-model source = %v, want 1", got)
 	}
 	// Cache ablation: a miss's wait cycle in MEM emits as active.
 	memWait := &cpu.StageTrace{Op: isa.LW, Inst: isa.Lw(isa.T0, isa.Zero, 0), Stalled: true, CacheAccess: true}
 	mNoCache := m.WithOptions(ModelOptions{PerStageSources: true, Activity: ActivityNone, ModelStalls: true, ModelFlush: true})
-	if got := mNoCache.stageSource(cpu.MEM, memWait); got == 0 {
+	if got := mNoCache.stageSource(cpu.MEM, memWait, false); got == 0 {
 		t.Error("cache-ablated MEM wait cycle should emit")
 	}
-	if got := m.stageSource(cpu.MEM, memWait); got != 0 {
+	if got := m.stageSource(cpu.MEM, memWait, false); got != 0 {
 		t.Error("full model MEM wait cycle should be quiet")
 	}
 }
@@ -289,9 +289,9 @@ func TestWithBetaScalesSources(t *testing.T) {
 		}
 	}
 	st := &cpu.StageTrace{Op: isa.ADD, Inst: isa.Add(isa.T0, isa.T1, isa.T2)}
-	base := m.stageSource(cpu.EX, st)
+	base := m.stageSource(cpu.EX, st, false)
 	mb := m.WithBeta([cpu.NumStages]float64{1, 1, 0.5, 1, 1})
-	if got := mb.stageSource(cpu.EX, st); math.Abs(got-base/2) > 1e-12 {
+	if got := mb.stageSource(cpu.EX, st, false); math.Abs(got-base/2) > 1e-12 {
 		t.Errorf("beta-scaled source = %v, want %v", got, base/2)
 	}
 	// Base model unchanged (WithBeta copies).
@@ -420,12 +420,12 @@ func TestActivityAverageScalesBaseline(t *testing.T) {
 	mAvg := m.WithOptions(ModelOptions{PerStageSources: true, Activity: ActivityAverage,
 		ModelStalls: true, ModelCache: true, ModelFlush: true})
 	want := 2 * (1 + 4.0/float64(cpu.FeatureBits(cpu.EX)))
-	if got := mAvg.stageSource(cpu.EX, st); math.Abs(got-want) > 1e-12 {
+	if got := mAvg.stageSource(cpu.EX, st, false); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Equ.7 source = %v, want %v", got, want)
 	}
 	mNone := m.WithOptions(ModelOptions{PerStageSources: true, Activity: ActivityNone,
 		ModelStalls: true, ModelCache: true, ModelFlush: true})
-	if got := mNone.stageSource(cpu.EX, st); got != 2 {
+	if got := mNone.stageSource(cpu.EX, st, false); got != 2 {
 		t.Errorf("ActivityNone source = %v, want 2", got)
 	}
 }

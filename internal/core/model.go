@@ -197,18 +197,31 @@ func (m *Model) ampKeyFor(st *cpu.StageTrace) int {
 
 // stageSource computes u_s for one stage of one cycle: the baseline
 // amplitude for the occupant class plus the data-activity term, with
-// stall handling per §IV.
-func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace) float64 {
+// stall handling per §IV. With averaged set, the baseline is the
+// stage-averaged table entry of the single-source ablation (Figure 2
+// bottom) — the activity and stall handling are shared between the two
+// paths so the amplitude kernel has exactly one implementation of them.
+func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace, averaged bool) float64 {
 	if st.Stalled && m.Options.ModelStalls {
 		// Stalled stages are power-gated (§IV) — unless the cache model
 		// is disabled, in which case a miss's wait cycles in MEM emit as
-		// if the access were still active (the Figure 6 ablation).
-		if m.Options.ModelCache || s != cpu.MEM || !st.CacheAccess {
+		// if the access were still active (the Figure 6 ablation). The
+		// single-source ablation has no per-stage identity to apply that
+		// exception to.
+		if averaged || m.Options.ModelCache || s != cpu.MEM || !st.CacheAccess {
 			return 0
 		}
 	}
 	key := m.ampKeyFor(st)
-	u := m.Amp[key][s]
+	var u float64
+	if averaged {
+		for ss := 0; ss < cpu.NumStages; ss++ {
+			u += m.Amp[key][ss]
+		}
+		u /= cpu.NumStages
+	} else {
+		u = m.Amp[key][s]
+	}
 	switch m.Options.Activity {
 	case ActivityLR:
 		u += m.Activity[s].contribution(st)
@@ -218,7 +231,7 @@ func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace) float64 {
 		// mispredicting amplitudes.
 		u *= 1 + float64(st.FlipCount())/float64(cpu.FeatureBits(s))
 	}
-	if m.Beta != nil {
+	if !averaged && m.Beta != nil {
 		u *= m.Beta[s]
 	}
 	return u
@@ -229,41 +242,37 @@ func (m *Model) CycleAmplitude(c *cpu.Cycle) float64 {
 	if m.Options.PerStageSources {
 		x := m.MISOIntercept
 		for s := cpu.Stage(0); s < cpu.NumStages; s++ {
-			x += m.MISO[s] * m.stageSource(s, &c.Stages[s])
+			x += m.MISO[s] * m.stageSource(s, &c.Stages[s], false)
 		}
 		return x
 	}
 	// Single-source ablation: stage-averaged amplitudes, one coefficient.
 	sum := 0.0
 	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
-		st := &c.Stages[s]
-		if st.Stalled && m.Options.ModelStalls {
-			continue
+		if u := m.stageSource(s, &c.Stages[s], true); u != 0 {
+			sum += u
 		}
-		key := m.ampKeyFor(st)
-		avg := 0.0
-		for ss := 0; ss < cpu.NumStages; ss++ {
-			avg += m.Amp[key][ss]
-		}
-		avg /= cpu.NumStages
-		switch m.Options.Activity {
-		case ActivityLR:
-			avg += m.Activity[s].contribution(st)
-		case ActivityAverage:
-			avg *= 1 + float64(st.FlipCount())/float64(cpu.FeatureBits(s))
-		}
-		sum += avg
 	}
 	return m.SingleIntercept + m.SingleM*sum
 }
 
 // Amplitudes predicts the per-cycle amplitude series for a trace.
 func (m *Model) Amplitudes(tr cpu.Trace) []float64 {
-	out := make([]float64, len(tr))
-	for i := range tr {
-		out[i] = m.CycleAmplitude(&tr[i])
+	return m.AmplitudesInto(nil, tr)
+}
+
+// AmplitudesInto is the buffer-reusing form of Amplitudes: the series is
+// written into dst's backing array, grown only when needed.
+func (m *Model) AmplitudesInto(dst []float64, tr cpu.Trace) []float64 {
+	if cap(dst) >= len(tr) {
+		dst = dst[:len(tr)]
+	} else {
+		dst = make([]float64, len(tr))
 	}
-	return out
+	for i := range tr {
+		dst[i] = m.CycleAmplitude(&tr[i])
+	}
+	return dst
 }
 
 // Simulate renders the predicted analog signal for a trace: amplitudes
@@ -275,6 +284,10 @@ func (m *Model) Simulate(tr cpu.Trace) ([]float64, error) {
 // SimulateProgram runs the program on a fresh core with the given
 // configuration and returns the trace plus the predicted analog signal —
 // the design-stage flow of §VI that needs no physical measurement.
+//
+// SimulateProgram allocates a core, a trace and a signal per call. For
+// campaign workloads that simulate many programs under one
+// configuration, a Session amortizes all of that: see NewSession.
 func (m *Model) SimulateProgram(cfg cpu.Config, words []uint32) (cpu.Trace, []float64, error) {
 	c, err := cpu.New(cfg)
 	if err != nil {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"emsim/internal/cpu"
+	"emsim/internal/signal"
+)
+
+// Session is the reusable simulation pipeline for one (model, core
+// configuration) pair: it owns a resettable CPU, a cached reconstruction
+// tap table and a growable signal buffer, and streams each run's cycles
+// straight through the amplitude model into the overlap-add renderer —
+// no cpu.Trace, amplitude slice or output slice is materialized per
+// call. After the buffers warm up, SimulateProgramInto performs zero
+// allocations per simulated trace, which is what makes campaign
+// workloads (TVLA's thousands of AES traces, SAVAT matrices, batch
+// sweeps) run at memory-bandwidth speed instead of allocator speed.
+//
+// A Session is not safe for concurrent use; SimulateBatch fans work
+// across one private Session per worker.
+type Session struct {
+	model *Model
+	cfg   cpu.Config
+	core  *cpu.CPU
+	rec   *signal.Reconstructor
+	sink  ampSink
+	sig   []float64 // buffer backing SimulateProgramInto's internal reuse
+}
+
+// ampSink streams cycles from the core into the amplitude model and on
+// into the reconstructor. It lives inside the Session so converting it to
+// a cpu.CycleSink never allocates.
+type ampSink struct {
+	m   *Model
+	rec *signal.Reconstructor
+}
+
+func (a *ampSink) Cycle(c *cpu.Cycle) error {
+	a.rec.Add(a.m.CycleAmplitude(c))
+	return nil
+}
+
+// NewSession builds a reusable pipeline for repeated simulations of
+// programs under one core configuration. The model's fitted parameters
+// are shared, not copied; ablation variants need their own Session (via
+// Model.WithOptions).
+func NewSession(m *Model, cfg cpu.Config) (*Session, error) {
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := m.Kernel.NewReconstructor(m.SamplesPerCycle)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{model: m, cfg: cfg, core: c, rec: rec}
+	s.sink = ampSink{m: m, rec: rec}
+	return s, nil
+}
+
+// NewSession builds a Session for this model; see core.NewSession.
+func (m *Model) NewSession(cfg cpu.Config) (*Session, error) { return NewSession(m, cfg) }
+
+// Model returns the model the session simulates with.
+func (s *Session) Model() *Model { return s.model }
+
+// Config returns the session's core configuration.
+func (s *Session) Config() cpu.Config { return s.cfg }
+
+// CPU exposes the session's core for result inspection (registers,
+// memory) after a run. Mutating it between runs is safe — every simulate
+// call fully resets the machine.
+func (s *Session) CPU() *cpu.CPU { return s.core }
+
+// Cycles returns the clock-cycle count of the last simulated program.
+func (s *Session) Cycles() int { return s.core.CycleCount() }
+
+// Stats returns the core statistics of the last simulated program.
+func (s *Session) Stats() cpu.Stats { return s.core.Stats() }
+
+// SimulateProgramInto runs the program on the session's core and renders
+// the predicted analog signal into dst's backing array, which is grown
+// only when its capacity is insufficient. Passing the previous output
+// back as dst makes steady-state reuse allocation-free. The returned
+// slice aliases dst (or the session's grown buffer) and is valid until
+// the next call that reuses it.
+func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64, error) {
+	s.rec.Start(dst)
+	if err := s.core.RunProgramTo(words, &s.sink); err != nil {
+		return nil, fmt.Errorf("core: simulate: %w", err)
+	}
+	return s.rec.Finish(), nil
+}
+
+// SimulateProgram runs the program and returns its predicted analog
+// signal in a fresh slice the caller may retain. The trace, amplitude
+// and reconstruction intermediates still reuse session buffers; only the
+// returned signal is allocated. For fully allocation-free steady-state
+// reuse, use SimulateProgramInto with a recycled destination.
+func (s *Session) SimulateProgram(words []uint32) ([]float64, error) {
+	sig, err := s.SimulateProgramInto(s.sig, words)
+	if err != nil {
+		return nil, err
+	}
+	s.sig = sig[:0] // keep the grown buffer for the next run
+	out := make([]float64, len(sig))
+	copy(out, sig)
+	return out, nil
+}
+
+// SimulateBatch simulates every program of a campaign, fanning the slice
+// across `workers` goroutines with one private Session each (workers <= 0
+// selects GOMAXPROCS). Results are returned in input order; each signal
+// is freshly allocated and safe to retain. The first simulation error
+// aborts the batch.
+func (s *Session) SimulateBatch(programs [][]uint32, workers int) ([][]float64, error) {
+	if len(programs) == 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(programs) {
+		workers = len(programs)
+	}
+	out := make([][]float64, len(programs))
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		failed.Store(true)
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ws, err := NewSession(s.model, s.cfg)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(programs) {
+					return
+				}
+				sig, err := ws.SimulateProgram(programs[i])
+				if err != nil {
+					fail(fmt.Errorf("core: batch program %d: %w", i, err))
+					return
+				}
+				out[i] = sig
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

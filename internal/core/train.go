@@ -414,7 +414,7 @@ func (t *Trainer) fitMISO(m *Model, meas []*measurement) error {
 			fv := make([]float64, cpu.NumStages)
 			sum := 0.0
 			for s := cpu.Stage(0); s < cpu.NumStages; s++ {
-				fv[s] = m.stageSource(s, &c.Stages[s])
+				fv[s] = m.stageSource(s, &c.Stages[s], false)
 				sum += fv[s]
 			}
 			feats = append(feats, fv)

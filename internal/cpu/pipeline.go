@@ -99,6 +99,10 @@ type CPU struct {
 	stalls      int
 	flushes     int
 	mispredicts uint64
+
+	// scratch is the cycle record reused by the streaming run loop so a
+	// steady-state RunTo performs no allocations.
+	scratch Cycle
 }
 
 // New builds a core with the given configuration and an empty memory.
@@ -350,10 +354,22 @@ func fillStage(tr *StageTrace, s *slot, stalled bool) {
 // Step simulates one clock cycle and returns its trace record. Calling
 // Step on a halted core is an error.
 func (c *CPU) Step() (Cycle, error) {
-	if c.halted {
-		return Cycle{}, fmt.Errorf("cpu: step after halt (cycle %d)", c.cycle)
+	var rec Cycle
+	if err := c.StepInto(&rec); err != nil {
+		return Cycle{}, err
 	}
-	rec := Cycle{N: c.cycle}
+	return rec, nil
+}
+
+// StepInto simulates one clock cycle and fills the caller-provided trace
+// record in place, allocating nothing. It is the hot-path form of Step:
+// the streaming run loop reuses one record for the whole run. Calling
+// StepInto on a halted core is an error.
+func (c *CPU) StepInto(rec *Cycle) error {
+	if c.halted {
+		return fmt.Errorf("cpu: step after halt (cycle %d)", c.cycle)
+	}
+	*rec = Cycle{N: c.cycle}
 	haltNow := false
 
 	// ---------------- WB ----------------
@@ -552,8 +568,8 @@ func (c *CPU) Step() (Cycle, error) {
 		if idVacates {
 			word := c.mem.ReadWord(c.pc)
 			fetched = slot{pc: c.pc, word: word, seq: c.seq}
-			in, derr := isa.Decode(word)
-			if derr != nil {
+			in, ok := isa.TryDecode(word)
+			if !ok {
 				fetched.bubble = true
 				fetched.seq = -1
 			} else {
@@ -561,7 +577,7 @@ func (c *CPU) Step() (Cycle, error) {
 				c.seq++
 			}
 			next := c.pc + 4
-			if derr == nil {
+			if ok {
 				switch {
 				case in.Op.IsBranch():
 					n, taken := c.bp.PredictNext(c.pc)
@@ -581,7 +597,7 @@ func (c *CPU) Step() (Cycle, error) {
 			// latches. Record what sits on the bus for the trace.
 			tr.Stalled = true
 			tr.Seq = -1
-			if in, err := isa.Decode(c.mem.ReadWord(c.pc)); err == nil {
+			if in, ok := isa.TryDecode(c.mem.ReadWord(c.pc)); ok {
 				tr.Op = in.Op
 				tr.Inst = in
 			}
@@ -645,24 +661,17 @@ func (c *CPU) Step() (Cycle, error) {
 	if haltNow {
 		c.halted = true
 	}
-	return rec, nil
+	return nil
 }
 
 // Run steps the core until it halts, returning the full trace. It fails if
-// MaxCycles elapse first.
+// MaxCycles elapse first. Run is the materializing wrapper around the
+// streaming RunTo path; campaign workloads that do not need to retain the
+// whole trace should use RunTo with their own sink instead.
 func (c *CPU) Run() (Trace, error) {
 	var tr Trace
-	for !c.halted {
-		if c.cycle >= c.cfg.MaxCycles {
-			return tr, fmt.Errorf("cpu: program exceeded %d cycles without halting", c.cfg.MaxCycles)
-		}
-		cyc, err := c.Step()
-		if err != nil {
-			return tr, err
-		}
-		tr = append(tr, cyc)
-	}
-	return tr, nil
+	err := c.RunTo(AppendTo(&tr))
+	return tr, err
 }
 
 // RunProgram is the common load-reset-run convenience: it fully resets
@@ -671,7 +680,7 @@ func (c *CPU) Run() (Trace, error) {
 // deterministic — a program must initialize any data it reads. To run
 // against pre-loaded memory, use LoadProgram + Run directly.
 func (c *CPU) RunProgram(words []uint32) (Trace, error) {
-	c.Reset()
-	c.LoadProgram(c.cfg.ResetVector, words)
-	return c.Run()
+	var tr Trace
+	err := c.RunProgramTo(words, AppendTo(&tr))
+	return tr, err
 }

@@ -1,0 +1,80 @@
+package cpu
+
+import "fmt"
+
+// CycleSink consumes per-cycle trace records as the core emits them. The
+// streaming run loop hands every sink call a pointer into a record it
+// reuses for the next cycle, so a sink that wants to retain a cycle must
+// copy the value (appending to a Trace does exactly that). Returning an
+// error aborts the run.
+//
+// Sinks are how the simulation pipeline avoids materializing a whole
+// cpu.Trace per run: the EM model's amplitude evaluation, statistics
+// collection, or trace recording all attach here and see each cycle
+// exactly once, in order.
+type CycleSink interface {
+	Cycle(c *Cycle) error
+}
+
+// CycleSinkFunc adapts a plain function to a CycleSink.
+type CycleSinkFunc func(c *Cycle) error
+
+// Cycle implements CycleSink.
+func (f CycleSinkFunc) Cycle(c *Cycle) error { return f(c) }
+
+// appendSink copies every emitted cycle into a Trace.
+type appendSink struct{ tr *Trace }
+
+func (a appendSink) Cycle(c *Cycle) error {
+	*a.tr = append(*a.tr, *c)
+	return nil
+}
+
+// AppendTo returns a sink that appends every cycle record to tr — the
+// materializing adapter Run and RunProgram are built on.
+func AppendTo(tr *Trace) CycleSink { return appendSink{tr} }
+
+// TeeSink fans each cycle out to several sinks in order, stopping at the
+// first error. It lets one run feed, say, a trace recorder and an
+// amplitude evaluator simultaneously.
+func TeeSink(sinks ...CycleSink) CycleSink {
+	return CycleSinkFunc(func(c *Cycle) error {
+		for _, s := range sinks {
+			if err := s.Cycle(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RunTo steps the core until it halts, delivering each cycle record to
+// sink. It fails if MaxCycles elapse first. The record passed to the sink
+// is reused between cycles (see CycleSink), which makes a steady-state
+// run allocation-free: nothing per-cycle is retained unless the sink
+// chooses to.
+func (c *CPU) RunTo(sink CycleSink) error {
+	for !c.halted {
+		if c.cycle >= c.cfg.MaxCycles {
+			return fmt.Errorf("cpu: program exceeded %d cycles without halting", c.cfg.MaxCycles)
+		}
+		if err := c.StepInto(&c.scratch); err != nil {
+			return err
+		}
+		if err := sink.Cycle(&c.scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunProgramTo is the streaming form of RunProgram: it fully resets the
+// machine, loads words at the reset vector and runs to completion,
+// handing every cycle to sink instead of accumulating a Trace. Repeated
+// calls on one core reuse its memory pages, cache arrays and cycle
+// scratch record, so same-shaped reruns allocate nothing.
+func (c *CPU) RunProgramTo(words []uint32, sink CycleSink) error {
+	c.Reset()
+	c.LoadProgram(c.cfg.ResetVector, words)
+	return c.RunTo(sink)
+}

@@ -246,3 +246,18 @@ func (d *Device) CaptureStream(words []uint32, reps int) (stream []float64, cycl
 
 // CPUStats exposes the device core's statistics for experiment reporting.
 func (d *Device) CPUStats() cpu.Stats { return d.core.Stats() }
+
+// CaptureSource adapts the device to per-input trace consumers such as
+// leakage.TVLA (the returned function is assignable to a
+// leakage.TraceSource): each call builds the program for the input block
+// and captures one noisy oscilloscope trace of it.
+func (d *Device) CaptureSource(build func(input [16]byte) ([]uint32, error)) func(input [16]byte) ([]float64, error) {
+	return func(input [16]byte) ([]float64, error) {
+		words, err := build(input)
+		if err != nil {
+			return nil, err
+		}
+		_, sig, err := d.Capture(words)
+		return sig, err
+	}
+}

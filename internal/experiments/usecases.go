@@ -42,31 +42,25 @@ func (e *Env) Figure10(tracesPerGroup int) (*Figure10Result, error) {
 	var fixed [16]byte
 	copy(fixed[:], []byte("emsim-fixed-pt!!"))
 
-	realSrc := func(input [16]byte) ([]float64, error) {
+	build := func(input [16]byte) ([]uint32, error) {
 		prog, err := aes.BuildProgram(key, input)
 		if err != nil {
 			return nil, err
 		}
-		_, sig, err := e.Dev.Capture(prog.Words)
-		return sig, err
+		return prog.Words, nil
+	}
+	realSrc := leakage.TraceSource(e.Dev.CaptureSource(build))
+	// One streaming Session serves the whole simulated campaign: every
+	// AES trace reuses the same core, amplitude path and signal buffer.
+	sess, err := core.NewSession(e.Model, e.Dev.Options().CPU)
+	if err != nil {
+		return nil, err
 	}
 	noise := rand.New(rand.NewSource(e.Seed + 4242))
 	noiseStd := e.Dev.Options().NoiseStd
-	cfg := e.Dev.Options().CPU
-	simSrc := func(input [16]byte) ([]float64, error) {
-		prog, err := aes.BuildProgram(key, input)
-		if err != nil {
-			return nil, err
-		}
-		_, sig, err := e.Model.SimulateProgram(cfg, prog.Words)
-		if err != nil {
-			return nil, err
-		}
-		for i := range sig {
-			sig[i] += noiseStd * noise.NormFloat64()
-		}
-		return sig, nil
-	}
+	simSrc := leakage.SimSource(sess, build, func() float64 {
+		return noiseStd * noise.NormFloat64()
+	})
 
 	real, err := leakage.TVLA(realSrc, fixed, e.rng(1000), tracesPerGroup)
 	if err != nil {
@@ -146,13 +140,18 @@ func (e *Env) TableII() (*TableIIResult, error) {
 		}
 		return sig, len(tr), nil
 	}
-	cfg := e.Dev.Options().CPU
+	// All 36 simulated microbenchmarks stream through one reusable
+	// Session instead of allocating a core and trace per cell.
+	sess, err := core.NewSession(e.Model, e.Dev.Options().CPU)
+	if err != nil {
+		return nil, err
+	}
 	runSim := func(words []uint32) ([]float64, int, error) {
-		tr, sig, err := e.Model.SimulateProgram(cfg, words)
+		sig, err := sess.SimulateProgram(words)
 		if err != nil {
 			return nil, 0, err
 		}
-		return sig, len(tr), nil
+		return sig, sess.Cycles(), nil
 	}
 	real, err := leakage.SavatMatrix(runReal, spc, perHalf, periods)
 	if err != nil {

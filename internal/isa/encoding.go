@@ -182,8 +182,51 @@ func signExtend(v uint32, bits uint) int32 {
 }
 
 // Decode parses a 32-bit machine word into an Inst. Words that do not
-// correspond to an RV32IM instruction return an error.
+// correspond to an RV32IM instruction return a descriptive error; callers
+// on allocation-sensitive paths that only need validity should use
+// TryDecode instead.
 func Decode(word uint32) (Inst, error) {
+	in, ok := TryDecode(word)
+	if !ok {
+		return Inst{}, decodeError(word)
+	}
+	return in, nil
+}
+
+// decodeError reconstructs the reason a word failed TryDecode. Split from
+// the decoder so the hot fetch path never pays for error formatting.
+func decodeError(word uint32) error {
+	opcode := word & 0x7F
+	funct3 := (word >> 12) & 0x7
+	funct7 := (word >> 25) & 0x7F
+	switch opcode {
+	case opcJALR:
+		return fmt.Errorf("isa: bad JALR funct3 %#b in %#08x", funct3, word)
+	case opcBranch:
+		return fmt.Errorf("isa: bad branch funct3 %#b in %#08x", funct3, word)
+	case opcLoad:
+		return fmt.Errorf("isa: bad load funct3 %#b in %#08x", funct3, word)
+	case opcStore:
+		return fmt.Errorf("isa: bad store funct3 %#b in %#08x", funct3, word)
+	case opcOpImm:
+		if funct3 == 0b001 {
+			return fmt.Errorf("isa: bad SLLI funct7 %#b in %#08x", funct7, word)
+		}
+		return fmt.Errorf("isa: bad shift funct7 %#b in %#08x", funct7, word)
+	case opcOp:
+		return fmt.Errorf("isa: bad OP funct3/funct7 %#b/%#b in %#08x", funct3, funct7, word)
+	case opcSystem:
+		return fmt.Errorf("isa: unsupported SYSTEM word %#08x", word)
+	}
+	return fmt.Errorf("isa: unknown opcode %#07b in word %#08x", opcode, word)
+}
+
+// TryDecode parses a 32-bit machine word into an Inst, reporting ok=false
+// for words that are not valid RV32IM encodings. Unlike Decode it never
+// allocates, which matters to the pipeline's fetch path: a core draining
+// after a halt keeps presenting unprogrammed (zero) words to the decoder
+// every cycle.
+func TryDecode(word uint32) (Inst, bool) {
 	opcode := word & 0x7F
 	rd := Reg((word >> 7) & 0x1F)
 	funct3 := (word >> 12) & 0x7
@@ -193,17 +236,17 @@ func Decode(word uint32) (Inst, error) {
 
 	switch opcode {
 	case opcLUI:
-		return Inst{Op: LUI, Rd: rd, Imm: int32((word >> 12) & 0xFFFFF)}, nil
+		return Inst{Op: LUI, Rd: rd, Imm: int32((word >> 12) & 0xFFFFF)}, true
 	case opcAUIPC:
-		return Inst{Op: AUIPC, Rd: rd, Imm: int32((word >> 12) & 0xFFFFF)}, nil
+		return Inst{Op: AUIPC, Rd: rd, Imm: int32((word >> 12) & 0xFFFFF)}, true
 	case opcJAL:
 		imm := ((word>>31)&1)<<20 | ((word>>12)&0xFF)<<12 | ((word>>20)&1)<<11 | ((word>>21)&0x3FF)<<1
-		return Inst{Op: JAL, Rd: rd, Imm: signExtend(imm, 21)}, nil
+		return Inst{Op: JAL, Rd: rd, Imm: signExtend(imm, 21)}, true
 	case opcJALR:
 		if funct3 != 0 {
-			return Inst{}, fmt.Errorf("isa: bad JALR funct3 %#b in %#08x", funct3, word)
+			return Inst{}, false
 		}
-		return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: signExtend(word>>20, 12)}, nil
+		return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: signExtend(word>>20, 12)}, true
 	case opcBranch:
 		var op Op
 		switch funct3 {
@@ -220,10 +263,10 @@ func Decode(word uint32) (Inst, error) {
 		case 0b111:
 			op = BGEU
 		default:
-			return Inst{}, fmt.Errorf("isa: bad branch funct3 %#b in %#08x", funct3, word)
+			return Inst{}, false
 		}
 		imm := ((word>>31)&1)<<12 | ((word>>7)&1)<<11 | ((word>>25)&0x3F)<<5 | ((word>>8)&0xF)<<1
-		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 13)}, nil
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 13)}, true
 	case opcLoad:
 		var op Op
 		switch funct3 {
@@ -238,9 +281,9 @@ func Decode(word uint32) (Inst, error) {
 		case 0b101:
 			op = LHU
 		default:
-			return Inst{}, fmt.Errorf("isa: bad load funct3 %#b in %#08x", funct3, word)
+			return Inst{}, false
 		}
-		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: signExtend(word>>20, 12)}, nil
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: signExtend(word>>20, 12)}, true
 	case opcStore:
 		var op Op
 		switch funct3 {
@@ -251,58 +294,58 @@ func Decode(word uint32) (Inst, error) {
 		case 0b010:
 			op = SW
 		default:
-			return Inst{}, fmt.Errorf("isa: bad store funct3 %#b in %#08x", funct3, word)
+			return Inst{}, false
 		}
 		imm := ((word>>25)&0x7F)<<5 | (word>>7)&0x1F
-		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 12)}, nil
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 12)}, true
 	case opcOpImm:
 		imm := signExtend(word>>20, 12)
 		switch funct3 {
 		case 0b000:
-			return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: ADDI, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b010:
-			return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: SLTI, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b011:
-			return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b100:
-			return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: XORI, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b110:
-			return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: ORI, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b111:
-			return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: imm}, nil
+			return Inst{Op: ANDI, Rd: rd, Rs1: rs1, Imm: imm}, true
 		case 0b001:
 			if funct7 != 0 {
-				return Inst{}, fmt.Errorf("isa: bad SLLI funct7 %#b in %#08x", funct7, word)
+				return Inst{}, false
 			}
-			return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+			return Inst{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, true
 		case 0b101:
 			switch funct7 {
 			case 0b0000000:
-				return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+				return Inst{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, true
 			case 0b0100000:
-				return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+				return Inst{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, true
 			}
-			return Inst{}, fmt.Errorf("isa: bad shift funct7 %#b in %#08x", funct7, word)
+			return Inst{}, false
 		}
 	case opcOp:
 		for _, op := range []Op{ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
 			MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU} {
 			e := encTable[op]
 			if e.funct3 == funct3 && e.funct7 == funct7 {
-				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, true
 			}
 		}
-		return Inst{}, fmt.Errorf("isa: bad OP funct3/funct7 %#b/%#b in %#08x", funct3, funct7, word)
+		return Inst{}, false
 	case opcMisc:
-		return Inst{Op: FENCE}, nil
+		return Inst{Op: FENCE}, true
 	case opcSystem:
 		switch word >> 20 {
 		case 0:
-			return Inst{Op: ECALL}, nil
+			return Inst{Op: ECALL}, true
 		case 1:
-			return Inst{Op: EBREAK}, nil
+			return Inst{Op: EBREAK}, true
 		}
-		return Inst{}, fmt.Errorf("isa: unsupported SYSTEM word %#08x", word)
+		return Inst{}, false
 	}
-	return Inst{}, fmt.Errorf("isa: unknown opcode %#07b in word %#08x", opcode, word)
+	return Inst{}, false
 }

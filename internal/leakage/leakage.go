@@ -19,10 +19,44 @@ import (
 )
 
 // TraceSource produces one side-channel trace for one input block. A
-// device-backed source captures a real (noisy) measurement; a model-
-// backed source simulates the signal (adding its own measurement-noise
-// model so the t-test statistics are comparable).
+// device-backed source captures a real (noisy) measurement (see
+// Device.CaptureSource in internal/device); a model-backed source
+// simulates the signal, typically through a reusable core.Session via
+// SimSource (adding its own measurement-noise model so the t-test
+// statistics are comparable).
 type TraceSource func(input [16]byte) ([]float64, error)
+
+// Simulator yields one simulated signal per program image. A
+// *core.Session satisfies it; because TVLA campaigns call the source
+// thousands of times, a session-backed simulator (one resettable core,
+// reused buffers) is strongly preferred over spinning up a fresh
+// simulation pipeline per trace.
+type Simulator interface {
+	SimulateProgram(words []uint32) ([]float64, error)
+}
+
+// SimSource builds a model-backed TraceSource: build maps each input
+// block to a program image, sim renders its signal, and noise — when
+// non-nil — returns an additive per-sample measurement-noise term so the
+// simulated t-test statistics are comparable to measured ones.
+func SimSource(sim Simulator, build func(input [16]byte) ([]uint32, error), noise func() float64) TraceSource {
+	return func(input [16]byte) ([]float64, error) {
+		words, err := build(input)
+		if err != nil {
+			return nil, err
+		}
+		sig, err := sim.SimulateProgram(words)
+		if err != nil {
+			return nil, err
+		}
+		if noise != nil {
+			for i := range sig {
+				sig[i] += noise()
+			}
+		}
+		return sig, nil
+	}
+}
 
 // TVLAResult is a fixed-vs-random leakage assessment.
 type TVLAResult struct {

@@ -91,9 +91,14 @@ func (m *Memory) LoadWords(addr uint32, words []uint32) {
 	}
 }
 
-// Reset discards all contents.
+// Reset discards all contents. Already-allocated pages are zeroed in
+// place rather than released, so a load/run/reset cycle that touches the
+// same addresses reaches a steady state with no allocations — the
+// property the reusable simulation Session relies on.
 func (m *Memory) Reset() {
-	m.pages = make(map[uint32]*page)
+	for _, p := range m.pages {
+		*p = page{}
+	}
 }
 
 // CacheConfig describes the data cache geometry and the latency model.

@@ -107,27 +107,38 @@ func (k Kernel) Taps(samplesPerCycle int) ([]float64, error) {
 // amplitudes x[n] (Equ. 2/4/6): one kernel instance per clock cycle,
 // scaled by that cycle's amplitude, superposed. The output has
 // len(x)*samplesPerCycle samples (the tail beyond the last cycle is
-// truncated).
+// truncated). It is the allocating wrapper around ReconstructInto.
 func Reconstruct(x []float64, samplesPerCycle int, k Kernel) ([]float64, error) {
+	return ReconstructInto(nil, x, samplesPerCycle, k)
+}
+
+// ReconstructInto is the in-place overlap-add form of Reconstruct: the
+// signal is rendered into dst's backing array, which is grown only when
+// its capacity is insufficient, and the (possibly re-sliced) result is
+// returned. Passing the previous output back as dst makes repeated
+// same-shaped reconstructions allocation-free apart from the tap table;
+// callers that also want the taps cached should use a Reconstructor.
+func ReconstructInto(dst []float64, x []float64, samplesPerCycle int, k Kernel) ([]float64, error) {
 	taps, err := k.Taps(samplesPerCycle)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(x)*samplesPerCycle)
-	for n, amp := range x {
+	n := len(x) * samplesPerCycle
+	dst = growZeroed(dst[:0], n)
+	for c, amp := range x {
 		if amp == 0 {
 			continue
 		}
-		base := n * samplesPerCycle
+		base := c * samplesPerCycle
 		for i, tap := range taps {
 			idx := base + i
-			if idx >= len(out) {
+			if idx >= n {
 				break
 			}
-			out[idx] += amp * tap
+			dst[idx] += amp * tap
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // MustReconstruct is Reconstruct for known-good kernels.
