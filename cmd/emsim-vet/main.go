@@ -1,0 +1,63 @@
+// Command emsim-vet runs the project's static-analysis suite over the
+// module. It is the mechanical half of the hot-path contract: the
+// AllocsPerRun tests pin a handful of call sites at runtime, emsim-vet
+// checks every call site at analysis time.
+//
+// Usage:
+//
+//	go run ./cmd/emsim-vet ./...
+//
+// Findings print one per line as file:line:col: message [analyzer] and
+// any finding makes the exit status 1, so the command slots directly
+// into CI. Suppress an individual finding with
+// //emsim:ignore <analyzer> <reason> on the flagged line or the line
+// above it; the reason is mandatory.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"emsim/internal/analysis"
+	"emsim/internal/analysis/determinism"
+	"emsim/internal/analysis/floatcmp"
+	"emsim/internal/analysis/noalloc"
+	"emsim/internal/analysis/stageexhaustive"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := analysis.Run(res.Packages, res.Module, []*analysis.Analyzer{
+		noalloc.Analyzer,
+		stageexhaustive.Analyzer,
+		floatcmp.Analyzer,
+		determinism.Analyzer,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "emsim-vet: %d finding(s) in %d package(s) (%d noalloc annotations checked)\n",
+			len(findings), len(res.Packages), res.Module.NoallocCount())
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "emsim-vet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,319 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis used to build emsim-vet, the project's
+// static-analysis gate. It deliberately mirrors the upstream shape — an
+// Analyzer with a Run function over a typed Pass — so the checkers could
+// be ported to the real framework wholesale if the x/tools dependency
+// ever becomes available, but it is built entirely on the standard
+// library: packages are enumerated with `go list`, dependencies are
+// imported from compiler export data, and only the analyzed package
+// itself is type-checked from source.
+//
+// Two project-specific comment directives drive the suite:
+//
+//	//emsim:noalloc
+//	    placed in a function's doc comment, declares that the function
+//	    must not allocate in the steady state. The noalloc analyzer
+//	    verifies the declaration at every call site it can see.
+//
+//	//emsim:ignore <analyzer> <reason>
+//	    suppresses the named analyzer's findings on the comment's line
+//	    and on the line directly below it. The reason is mandatory; a
+//	    reason-less suppression is itself reported and suppresses
+//	    nothing. The reason ends at the first "//", so test scaffolding
+//	    (or a second comment) on the same line is not swallowed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //emsim:ignore suppressions. It must be a single word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package, reporting findings via
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Module exposes module-wide facts (currently the //emsim:noalloc
+	// annotation set) collected from every package in the module, so an
+	// analyzer can reason about cross-package calls.
+	Module *ModuleInfo
+
+	diagnostics []diagnostic
+	suppressed  map[string]suppression
+}
+
+// SuppressedAt reports whether a finding by this pass's analyzer at pos
+// would be silenced by an //emsim:ignore directive. Analyzers whose
+// checks propagate (noalloc's callee inheritance) use this to stop
+// propagation through an acknowledged exception.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	_, ok := p.suppressed[suppressKey(p.Analyzer.Name, position.Filename, position.Line)]
+	return ok
+}
+
+type diagnostic struct {
+	pos     token.Pos
+	message string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, diagnostic{pos: pos, message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is one diagnostic, positioned and attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Position, f.Message, f.Analyzer)
+}
+
+// SuppressionAnalyzer is the pseudo-analyzer name under which malformed
+// //emsim:ignore comments are reported. It cannot itself be suppressed.
+const SuppressionAnalyzer = "suppression"
+
+// ignorePrefix is the suppression directive prefix.
+const ignorePrefix = "//emsim:ignore"
+
+// suppression is one parsed //emsim:ignore directive.
+type suppression struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Pos
+}
+
+// parseSuppressions extracts every //emsim:ignore directive from the
+// files' comments.
+func parseSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignorePrefix)
+				// A nested "//" (for example test scaffolding) ends the
+				// directive.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				pos := fset.Position(c.Pos())
+				out = append(out, suppression{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package, resolves suppressions, and
+// returns the surviving findings sorted by position. Malformed
+// suppressions (missing analyzer name or reason, or naming an analyzer
+// that does not exist) are themselves reported.
+func Run(pkgs []*Package, mod *ModuleInfo, analyzers []*Analyzer) ([]Finding, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sups := parseSuppressions(pkg.Fset, pkg.Files)
+		active := map[string]suppression{}
+		for _, s := range sups {
+			switch {
+			case s.analyzer == "":
+				findings = append(findings, Finding{
+					Analyzer: SuppressionAnalyzer,
+					Position: pkg.Fset.Position(s.pos),
+					Message:  "emsim:ignore needs an analyzer name and a reason",
+				})
+			case !known[s.analyzer]:
+				findings = append(findings, Finding{
+					Analyzer: SuppressionAnalyzer,
+					Position: pkg.Fset.Position(s.pos),
+					Message:  fmt.Sprintf("emsim:ignore names unknown analyzer %q", s.analyzer),
+				})
+			case s.reason == "":
+				findings = append(findings, Finding{
+					Analyzer: SuppressionAnalyzer,
+					Position: pkg.Fset.Position(s.pos),
+					Message:  fmt.Sprintf("emsim:ignore %s is missing its required reason", s.analyzer),
+				})
+			default:
+				// The directive covers its own line and the next one, so
+				// it can trail the flagged statement or sit above it.
+				active[suppressKey(s.analyzer, s.file, s.line)] = s
+				active[suppressKey(s.analyzer, s.file, s.line+1)] = s
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				Module:     mod,
+				suppressed: active,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diagnostics {
+				pos := pkg.Fset.Position(d.pos)
+				if _, ok := active[suppressKey(a.Name, pos.Filename, pos.Line)]; ok {
+					continue
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.message})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func suppressKey(analyzer, file string, line int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", analyzer, file, line)
+}
+
+// FuncHasDirective reports whether the function's doc comment contains
+// the given comment directive (for example "emsim:noalloc").
+func FuncHasDirective(decl *ast.FuncDecl, directive string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	want := "//" + directive
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ModuleInfo holds facts collected from every package in the module
+// before analysis runs, keyed so they survive the package-at-a-time
+// type-checking model (imported packages come from export data, which
+// carries no comments).
+type ModuleInfo struct {
+	noalloc map[string]bool
+}
+
+// NewModuleInfo returns an empty fact set.
+func NewModuleInfo() *ModuleInfo {
+	return &ModuleInfo{noalloc: map[string]bool{}}
+}
+
+// AddNoalloc records that the function identified by key carries the
+// //emsim:noalloc annotation.
+func (m *ModuleInfo) AddNoalloc(key string) { m.noalloc[key] = true }
+
+// IsNoallocKey reports whether the function identified by key is
+// annotated //emsim:noalloc.
+func (m *ModuleInfo) IsNoallocKey(key string) bool { return m.noalloc[key] }
+
+// IsNoallocFunc reports whether fn is annotated //emsim:noalloc.
+func (m *ModuleInfo) IsNoallocFunc(fn *types.Func) bool { return m.noalloc[FuncKey(fn)] }
+
+// NoallocCount returns the number of annotated functions (for reporting).
+func (m *ModuleInfo) NoallocCount() int { return len(m.noalloc) }
+
+// FuncKey returns the module-wide key of a function object:
+// "pkgpath.Func" for package functions and "pkgpath.Type.Method" for
+// methods (pointer receivers are keyed by their element type).
+func FuncKey(fn *types.Func) string {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if n, isNamed := t.(*types.Named); isNamed {
+			return pkg.Path() + "." + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// CollectAnnotations scans a package's syntax for //emsim:noalloc
+// directives and records them in m under pkgPath.
+func (m *ModuleInfo) CollectAnnotations(pkgPath string, files []*ast.File) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !FuncHasDirective(fd, "emsim:noalloc") {
+				continue
+			}
+			m.AddNoalloc(declKey(pkgPath, fd))
+		}
+	}
+}
+
+// declKey computes the module-wide key of a declaration syntactically,
+// matching FuncKey's object-based form.
+func declKey(pkgPath string, fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		// Generic receivers (Type[T]) do not occur in this module, but
+		// unwrap them anyway so the key stays stable if they appear.
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return pkgPath + "." + id.Name + "." + fd.Name.Name
+		}
+	}
+	return pkgPath + "." + fd.Name.Name
+}

@@ -1,0 +1,224 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its findings against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library only.
+//
+// A testdata package lives in <analyzer>/testdata/src/<pkg> and is plain
+// Go. Lines that should trigger a diagnostic carry a trailing
+//
+//	// want `regexp` `another regexp`
+//
+// comment: each backtick-quoted pattern must match exactly one finding
+// reported on that line, every finding must be claimed by a pattern, and
+// unmatched patterns fail the test. Testdata may import real module
+// packages (go/types does not enforce internal-package visibility), so
+// the fixtures can exercise, for example, switches over the real
+// cpu.Stage type.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"emsim/internal/analysis"
+)
+
+// want is one expected-diagnostic pattern.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the package rooted at dir (a directory of .go files),
+// type-checks it with module/stdlib imports resolved from compiler
+// export data, applies the analyzer through the full analysis.Run
+// pipeline (so suppressions are honored), and diffs the findings
+// against the // want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	findings, fset, files, err := analyze(dir, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, files)
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched `%s`", filepath.Base(w.file), w.line, w.raw)
+		}
+	}
+}
+
+// analyze loads, type-checks, and runs the analyzers over the package in
+// dir, returning the surviving findings.
+func analyze(dir string, analyzers []*analysis.Analyzer) ([]analysis.Finding, *token.FileSet, []*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("analysistest: no .go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseDirFiles(fset, dir, names)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	exports, mod, err := exportData(fset, imports)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	pkgPath := files[0].Name.Name
+	mod.CollectAnnotations(pkgPath, files)
+
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: analysis.ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("analysistest: type-checking %s: %w", dir, err)
+	}
+
+	pkg := &analysis.Package{
+		ImportPath: pkgPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := analysis.Run([]*analysis.Package{pkg}, mod, analyzers)
+	return findings, fset, files, err
+}
+
+// exportData resolves the testdata package's imports to compiler export
+// data files via `go list -deps -export` run at the module root, and
+// collects //emsim:noalloc annotations from any imported module packages
+// so cross-package noalloc queries behave as they do in a real run.
+func exportData(fset *token.FileSet, imports map[string]bool) (map[string]string, *analysis.ModuleInfo, error) {
+	mod := analysis.NewModuleInfo()
+	exports := map[string]string{}
+	if len(imports) == 0 {
+		return exports, mod, nil
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, nil, err
+	}
+	args := []string{"list", "-deps", "-export", "-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles"}
+	for path := range imports {
+		args = append(args, path)
+	}
+	sort.Strings(args[5:])
+	listed, err := analysis.GoList(root, args...)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := analysis.ParseDirFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, nil, fmt.Errorf("analysistest: parsing dependency %s: %w", p.ImportPath, err)
+		}
+		mod.CollectAnnotations(p.ImportPath, files)
+	}
+	return exports, mod, nil
+}
+
+// moduleRoot locates the enclosing module's root directory.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("analysistest: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("analysistest: not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// collectWants parses every // want comment in the files.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				spec := text[i+len("// want "):]
+				ms := wantRe.FindAllStringSubmatch(spec, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s:%d: malformed want comment (need backtick-quoted patterns): %s", pos.Filename, pos.Line, text)
+					continue
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// claim marks the first unmatched want on the finding's line whose
+// pattern matches the message.
+func claim(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Position.Filename && w.line == f.Position.Line && w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package determinism enforces bit-for-bit replayability of the
+// simulation core (cpu, signal, core by default): identical programs and
+// parameters must produce identical traces and signals, because the
+// paper's leakage statistics difference two signal populations and any
+// run-to-run jitter shows up as spurious leakage. The analyzer bans the
+// three stdlib trapdoors through which nondeterminism enters a pure
+// computation:
+//
+//   - wall-clock reads (time.Now, time.Since, time.Until)
+//   - the math/rand global source (rand.Int, rand.Float64, rand.Seed,
+//     ...). Explicitly seeded sources via rand.New/rand.NewSource are
+//     fine and remain available for noise models.
+//   - range over a map, whose iteration order is randomized per run; if
+//     the order truly cannot matter, suppress with a reason, otherwise
+//     iterate over sorted keys.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"emsim/internal/analysis"
+)
+
+// DefaultPaths are the packages whose outputs must replay exactly.
+var DefaultPaths = []string{
+	"emsim/internal/cpu",
+	"emsim/internal/signal",
+	"emsim/internal/core",
+}
+
+// Analyzer checks the default package set.
+var Analyzer = New(DefaultPaths...)
+
+// bannedTime are wall-clock entry points in package time.
+var bannedTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand are math/rand package-level functions that construct
+// explicitly seeded generators rather than using the global source.
+var allowedRand = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// New returns a determinism analyzer restricted to the given import
+// paths (used by tests to point it at fixture packages).
+func New(paths ...string) *analysis.Analyzer {
+	scope := map[string]bool{}
+	for _, p := range paths {
+		scope[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "determinism",
+		Doc:  "ban wall-clock reads, the global rand source, and map-order iteration in the simulation core",
+		Run: func(pass *analysis.Pass) error {
+			if !scope[pass.Pkg.Path()] {
+				return nil
+			}
+			return run(pass)
+		},
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := info.Types[n.X].Type
+				if t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						pass.Reportf(n.Range, "map iteration order is nondeterministic; iterate over sorted keys or suppress with a reason")
+					}
+				}
+			case *ast.SelectorExpr:
+				fn, ok := info.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if bannedTime[fn.Name()] {
+						pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulation outputs must not depend on it", fn.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					// Only package-level functions use the global source;
+					// *rand.Rand methods on a seeded generator are fine.
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !allowedRand[fn.Name()] {
+						pass.Reportf(n.Pos(), "%s.%s uses the global random source; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

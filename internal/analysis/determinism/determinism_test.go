@@ -1,0 +1,18 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), determinism.New("a"))
+}
+
+// TestScope verifies the analyzer is inert outside its package set.
+func TestScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), determinism.New("a"))
+}

@@ -1,0 +1,62 @@
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global random source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle uses the global random source`
+}
+
+// Negative: an explicitly seeded generator replays exactly.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Negative: time values may be manipulated, just not read from the wall
+// clock.
+func add(t time.Time) time.Time {
+	return t.Add(time.Second)
+}
+
+func mapIter(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// Negative: slice iteration is ordered.
+func sliceIter(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// Negative: a commutative reduction over a map can be suppressed with a
+// reason.
+func mapSum(m map[int]int) int {
+	s := 0
+	//emsim:ignore determinism summation is order-independent
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,9 @@
+// Package b is out of the analyzer's scope in TestScope: its wall-clock
+// read must produce no finding.
+package b
+
+import "time"
+
+func clock() time.Time {
+	return time.Now()
+}

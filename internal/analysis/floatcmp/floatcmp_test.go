@@ -1,0 +1,20 @@
+package floatcmp_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/floatcmp"
+)
+
+func TestFloatcmp(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), floatcmp.New("a"))
+}
+
+// TestScope verifies the analyzer is inert outside its package set:
+// fixture b contains a bare float == with no want comment, so the run
+// only passes if the out-of-scope package yields zero findings.
+func TestScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), floatcmp.New("a"))
+}

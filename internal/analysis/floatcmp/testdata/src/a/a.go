@@ -1,0 +1,37 @@
+package a
+
+func eq(x, y float64) bool {
+	return x == y // want `direct == on floating-point values`
+}
+
+func neq(x, y float32) bool {
+	return x != y // want `direct != on floating-point values`
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // want `direct == on floating-point values`
+}
+
+type meters float64
+
+func named(a, b meters) bool {
+	return a == b // want `direct == on floating-point values`
+}
+
+// Negative: integer equality is fine.
+func ints(a, b int) bool { return a == b }
+
+// Negative: ordering comparisons carry no exactness trap.
+func less(x, y float64) bool { return x < y }
+
+// Negative: a suppression with a reason silences the line below it.
+func sentinel(x float64) bool {
+	//emsim:ignore floatcmp zero is an exact sentinel written by Reset, never computed
+	return x == 0
+}
+
+// A reason-less suppression is itself reported and suppresses nothing.
+func badSuppression(x float64) bool {
+	//emsim:ignore floatcmp // want `missing its required reason`
+	return x == 0 // want `direct == on floating-point values`
+}

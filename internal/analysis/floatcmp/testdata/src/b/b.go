@@ -1,0 +1,7 @@
+// Package b is out of the analyzer's scope in TestScope: its float
+// comparison must produce no finding.
+package b
+
+func eq(x, y float64) bool {
+	return x == y
+}

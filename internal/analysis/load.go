@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// LoadResult bundles the analyzed packages with module-wide facts.
+type LoadResult struct {
+	Packages []*Package
+	Module   *ModuleInfo
+	Fset     *token.FileSet
+}
+
+// ListedPackage is the subset of `go list -json` output the loader needs.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+}
+
+// GoList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func GoList(dir string, args ...string) ([]ListedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			msg = string(ee.Stderr)
+		}
+		return nil, fmt.Errorf("analysis: go %v: %s", args, msg)
+	}
+	var pkgs []ListedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that reads compiler export data
+// from the given importPath->file map (as produced by `go list -export`).
+// The importer memoizes, so one instance can serve many type-checks.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok || file == "" {
+			return nil, fmt.Errorf("analysis: no export data for %q (is the package listed with -deps -export?)", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// ParseDirFiles parses the named files (relative to dir) with comments.
+func ParseDirFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Load enumerates the packages matching the patterns (run from dir),
+// type-checks each matching package from source with its dependencies
+// imported from compiler export data, and collects module-wide
+// annotations from every non-standard-library package in the dependency
+// closure — so cross-package noalloc queries work even when the analyzed
+// patterns are narrower than ./... .
+//
+// Packages that fail to type-check abort the load: the module must build
+// before it can be vetted.
+func Load(dir string, patterns ...string) (*LoadResult, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles",
+	}, patterns...)
+	listed, err := GoList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := ExportImporter(fset, exports)
+
+	mod := NewModuleInfo()
+	res := &LoadResult{Module: mod, Fset: fset}
+	for _, p := range listed {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseDirFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", p.ImportPath, err)
+		}
+		mod.CollectAnnotations(p.ImportPath, files)
+		if p.DepOnly {
+			continue // annotations only; not an analysis target
+		}
+		info := NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p.ImportPath, err)
+		}
+		res.Packages = append(res.Packages, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+		})
+	}
+	sort.Slice(res.Packages, func(i, j int) bool {
+		return res.Packages[i].ImportPath < res.Packages[j].ImportPath
+	})
+	return res, nil
+}

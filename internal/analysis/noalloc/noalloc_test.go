@@ -1,0 +1,13 @@
+package noalloc_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), noalloc.Analyzer)
+}

@@ -1,0 +1,133 @@
+package a
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+type ring struct {
+	data []float64
+	n    int
+}
+
+// Negative: append through the receiver reuses the receiver's backing
+// array in the steady state.
+//
+//emsim:noalloc
+func (r *ring) push(v float64) {
+	r.data = append(r.data, v)
+}
+
+//emsim:noalloc
+func appendParam(xs []float64, v float64) []float64 {
+	return append(xs, v) // want `append to a slice not owned by the receiver`
+}
+
+//emsim:noalloc
+func closure(n int) int {
+	f := func() int { return n } // want `function literal may allocate a closure`
+	return f()                   // want `call through function value f`
+}
+
+//emsim:noalloc
+func box(v float64) any {
+	return v // want `return converted to interface boxes a float64 value`
+}
+
+// Negative: pointers are stored directly in the interface word.
+//
+//emsim:noalloc
+func noBox(r *ring) any {
+	return r
+}
+
+//emsim:noalloc
+func format(v float64) {
+	fmt.Println(v) // want `call to fmt.Println allocates`
+}
+
+//emsim:noalloc
+func mapLit() int {
+	m := map[int]int{} // want `map literal allocates`
+	return len(m)
+}
+
+//emsim:noalloc
+func makeSlice(n int) int {
+	xs := make([]float64, n) // want `make allocates`
+	return len(xs)
+}
+
+//emsim:noalloc
+func spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement allocates a goroutine` `function literal may allocate a closure`
+}
+
+//emsim:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+type stepper interface{ Step() }
+
+//emsim:noalloc
+func dynamic(s stepper) {
+	s.Step() // want `call through interface method Step`
+}
+
+//emsim:noalloc
+func stdlibCall(s string) []string {
+	return strings.Split(s, ",") // want `call to strings.Split \(not on the allocation-free allowlist\)`
+}
+
+// Negative: math is on the allocation-free allowlist.
+//
+//emsim:noalloc
+func allowed(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// Negative: an annotated function may call an unannotated same-package
+// helper — the helper inherits the check...
+//
+//emsim:noalloc
+func outer(n int) int {
+	return helper(n)
+}
+
+// ...and violations inside the helper are still caught.
+func helper(n int) int {
+	xs := make([]int, n) // want `make allocates`
+	return len(xs)
+}
+
+// Negative: amortized growth is a deliberate, documented exception.
+//
+//emsim:noalloc
+func (r *ring) grow(n int) {
+	if cap(r.data) < n {
+		//emsim:ignore noalloc amortized warm-up growth; steady state reuses the buffer
+		r.data = append(make([]float64, 0, n), r.data...)
+	}
+	r.data = r.data[:n]
+}
+
+// Negative: a suppressed call is an acknowledged exception, so the
+// callee is not dragged into the verified set through that edge.
+//
+//emsim:noalloc
+func callsAllocatingHelper() []float64 {
+	//emsim:ignore noalloc the table is rebuilt once per call by design
+	return buildTable()
+}
+
+func buildTable() []float64 {
+	return make([]float64, 16)
+}
+
+// Negative: unannotated and unreachable from any annotated root, so its
+// allocations are its own business.
+func coldPath(msg string) error {
+	return fmt.Errorf("cold: %s", msg)
+}

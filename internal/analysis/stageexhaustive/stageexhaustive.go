@@ -1,0 +1,137 @@
+// Package stageexhaustive verifies that every switch over the pipeline
+// stage enum (emsim/internal/cpu.Stage) either covers all five stages or
+// carries an explicit panicking default. The per-stage MISO amplitude
+// model sums a contribution from each of IF/ID/EX/MEM/WB every cycle; a
+// switch that silently drops a stage drops that stage's side-channel
+// contribution, which is exactly the class of bug a golden trace won't
+// catch if the test program never stresses the missing stage.
+package stageexhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"emsim/internal/analysis"
+)
+
+const (
+	stagePkgPath  = "emsim/internal/cpu"
+	stageTypeName = "Stage"
+)
+
+// Analyzer is the stage-exhaustiveness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "stageexhaustive",
+	Doc:  "switches over cpu.Stage must cover every stage or panic in default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypesInfo.Types[sw.Tag].Type
+			stage := stageType(tagType)
+			if stage == nil {
+				return true
+			}
+			checkSwitch(pass, sw, stage)
+			return true
+		})
+	}
+	return nil
+}
+
+// stageType returns the named cpu.Stage type if t is it, else nil.
+func stageType(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() != stageTypeName || obj.Pkg() == nil || obj.Pkg().Path() != stagePkgPath {
+		return nil
+	}
+	return named
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, stage *types.Named) {
+	// Enumerate the declared stage constants from the defining package's
+	// scope, so a sixth stage added later tightens every switch at once.
+	declared := map[string]constant.Value{}
+	scope := stage.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), stage) {
+			continue
+		}
+		declared[name] = c.Val()
+	}
+
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			for name, val := range declared {
+				if constant.Compare(tv.Value, token.EQL, val) {
+					covered[name] = true
+				}
+			}
+		}
+	}
+
+	if defaultClause != nil && panics(defaultClause.Body) {
+		return
+	}
+	var missing []string
+	for name := range declared {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	what := "add the missing cases or a panicking default"
+	if defaultClause != nil {
+		what = "the default must panic, or every stage must be cased"
+	}
+	pass.Reportf(sw.Switch, "switch over cpu.Stage does not handle %s; %s",
+		strings.Join(missing, ", "), what)
+}
+
+// panics reports whether the statement list contains a panic call at its
+// top level.
+func panics(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package stageexhaustive_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/stageexhaustive"
+)
+
+func TestStageExhaustive(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), stageexhaustive.Analyzer)
+}

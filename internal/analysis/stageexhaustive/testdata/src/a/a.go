@@ -1,0 +1,66 @@
+package a
+
+import "emsim/internal/cpu"
+
+// Negative: all five stages cased.
+func full(s cpu.Stage) int {
+	switch s {
+	case cpu.IF:
+		return 1
+	case cpu.ID:
+		return 2
+	case cpu.EX:
+		return 3
+	case cpu.MEM:
+		return 4
+	case cpu.WB:
+		return 5
+	}
+	return 0
+}
+
+// Negative: incomplete cases backed by a panicking default.
+func panicking(s cpu.Stage) int {
+	switch s {
+	case cpu.IF, cpu.ID:
+		return 1
+	default:
+		panic("unhandled stage")
+	}
+}
+
+func missing(s cpu.Stage) int {
+	switch s { // want `switch over cpu.Stage does not handle MEM, WB`
+	case cpu.IF, cpu.ID, cpu.EX:
+		return 1
+	}
+	return 0
+}
+
+func silentDefault(s cpu.Stage) int {
+	switch s { // want `does not handle EX, ID, MEM, WB; the default must panic`
+	case cpu.IF:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Negative: switches over other integer types are not stage switches.
+func otherEnum(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+// Negative: a deliberate partial switch can be suppressed with a reason.
+func suppressed(s cpu.Stage) int {
+	//emsim:ignore stageexhaustive only fetch matters to this probe
+	switch s {
+	case cpu.IF:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,60 @@
+package bpred
+
+import "testing"
+
+var (
+	allocSinkBool bool
+	allocSinkU32  uint32
+)
+
+// TestPredictorsDoNotAllocate pins the //emsim:noalloc contract of every
+// direction predictor, the BTB, and the composite Unit: after
+// construction, predict/update/resolve/reset cycles are allocation-free,
+// which is what lets the pipeline call them every fetch without garbage.
+func TestPredictorsDoNotAllocate(t *testing.T) {
+	dirs := []Predictor{
+		NewNotTaken(),
+		NewBimodal(6),
+		NewTwoLevel(6, 4),
+		NewGShare(6),
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, d := range dirs {
+			for pc := uint32(0); pc < 256; pc += 4 {
+				taken := pc%8 == 0
+				allocSinkBool = d.Predict(pc)
+				d.Update(pc, taken)
+			}
+			d.Reset()
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("direction predictors allocate %.1f times per run, want 0", allocs)
+	}
+
+	btb := NewBTB(5)
+	allocs = testing.AllocsPerRun(100, func() {
+		for pc := uint32(0); pc < 256; pc += 4 {
+			btb.Insert(pc, pc+16)
+			target, ok := btb.Lookup(pc)
+			allocSinkBool = ok
+			allocSinkU32 = target
+		}
+		btb.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("BTB operations allocate %.1f times per run, want 0", allocs)
+	}
+
+	u := NewUnit(NewGShare(6), 5)
+	allocs = testing.AllocsPerRun(100, func() {
+		for pc := uint32(0); pc < 256; pc += 4 {
+			next, predTaken := u.PredictNext(pc)
+			allocSinkBool = u.Resolve(pc, pc%8 == 0, pc+8, predTaken, next)
+		}
+		u.Reset()
+	})
+	if allocs > 0 {
+		t.Errorf("prediction unit allocates %.1f times per run, want 0", allocs)
+	}
+}

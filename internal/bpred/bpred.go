@@ -46,12 +46,18 @@ type NotTaken struct{}
 func NewNotTaken() *NotTaken { return &NotTaken{} }
 
 // Predict always returns false.
+//
+//emsim:noalloc
 func (*NotTaken) Predict(uint32) bool { return false }
 
 // Update is a no-op.
+//
+//emsim:noalloc
 func (*NotTaken) Update(uint32, bool) {}
 
 // Reset is a no-op.
+//
+//emsim:noalloc
 func (*NotTaken) Reset() {}
 
 // Name returns "not-taken".
@@ -72,15 +78,21 @@ func NewBimodal(indexBits uint) *Bimodal {
 func (b *Bimodal) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
 
 // Predict returns the counter's direction for pc.
+//
+//emsim:noalloc
 func (b *Bimodal) Predict(pc uint32) bool { return b.table[b.idx(pc)].taken() }
 
 // Update trains the counter for pc.
+//
+//emsim:noalloc
 func (b *Bimodal) Update(pc uint32, taken bool) {
 	i := b.idx(pc)
 	b.table[i] = b.table[i].update(taken)
 }
 
 // Reset clears all counters to strongly-not-taken.
+//
+//emsim:noalloc
 func (b *Bimodal) Reset() {
 	for i := range b.table {
 		b.table[i] = 0
@@ -119,6 +131,8 @@ func NewTwoLevel(indexBits, historyBits uint) *TwoLevel {
 func (p *TwoLevel) histIdx(pc uint32) uint32 { return (pc >> 2) & p.idxMask }
 
 // Predict consults the pattern entry selected by the branch's history.
+//
+//emsim:noalloc
 func (p *TwoLevel) Predict(pc uint32) bool {
 	h := p.histories[p.histIdx(pc)]
 	return p.pattern[h].taken()
@@ -126,6 +140,8 @@ func (p *TwoLevel) Predict(pc uint32) bool {
 
 // Update trains the pattern entry and shifts the outcome into the branch's
 // history register.
+//
+//emsim:noalloc
 func (p *TwoLevel) Update(pc uint32, taken bool) {
 	hi := p.histIdx(pc)
 	h := p.histories[hi]
@@ -138,6 +154,8 @@ func (p *TwoLevel) Update(pc uint32, taken bool) {
 }
 
 // Reset clears histories and counters.
+//
+//emsim:noalloc
 func (p *TwoLevel) Reset() {
 	for i := range p.histories {
 		p.histories[i] = 0
@@ -168,9 +186,13 @@ func NewGShare(bits uint) *GShare {
 func (g *GShare) idx(pc uint32) uint32 { return ((pc >> 2) ^ g.history) & g.mask }
 
 // Predict returns the gshare direction for pc.
+//
+//emsim:noalloc
 func (g *GShare) Predict(pc uint32) bool { return g.table[g.idx(pc)].taken() }
 
 // Update trains the indexed counter and shifts the global history.
+//
+//emsim:noalloc
 func (g *GShare) Update(pc uint32, taken bool) {
 	i := g.idx(pc)
 	g.table[i] = g.table[i].update(taken)
@@ -181,6 +203,8 @@ func (g *GShare) Update(pc uint32, taken bool) {
 }
 
 // Reset clears the table and the history register.
+//
+//emsim:noalloc
 func (g *GShare) Reset() {
 	g.history = 0
 	for i := range g.table {
@@ -214,6 +238,8 @@ func NewBTB(indexBits uint) *BTB {
 func (b *BTB) idx(pc uint32) uint32 { return (pc >> 2) & b.mask }
 
 // Lookup returns the cached target for pc, if any.
+//
+//emsim:noalloc
 func (b *BTB) Lookup(pc uint32) (target uint32, ok bool) {
 	i := b.idx(pc)
 	if b.valid[i] && b.tags[i] == pc {
@@ -223,6 +249,8 @@ func (b *BTB) Lookup(pc uint32) (target uint32, ok bool) {
 }
 
 // Insert records pc -> target.
+//
+//emsim:noalloc
 func (b *BTB) Insert(pc, target uint32) {
 	i := b.idx(pc)
 	b.tags[i] = pc
@@ -231,6 +259,8 @@ func (b *BTB) Insert(pc, target uint32) {
 }
 
 // Reset invalidates every entry.
+//
+//emsim:noalloc
 func (b *BTB) Reset() {
 	for i := range b.valid {
 		b.valid[i] = false
@@ -261,8 +291,11 @@ func DefaultUnit() *Unit {
 // PredictNext returns the predicted next PC for the (possible) branch at
 // pc. A taken prediction without a BTB hit falls back to not-taken, since
 // the target is unknown at fetch time.
+//
+//emsim:noalloc
 func (u *Unit) PredictNext(pc uint32) (next uint32, predictedTaken bool) {
 	u.lookups++
+	//emsim:ignore noalloc dynamic dispatch by design; every in-tree Predictor is annotated noalloc
 	if u.Dir.Predict(pc) {
 		if target, ok := u.BTB.Lookup(pc); ok {
 			return target, true
@@ -273,7 +306,10 @@ func (u *Unit) PredictNext(pc uint32) (next uint32, predictedTaken bool) {
 
 // Resolve trains the unit with the actual branch outcome and returns
 // whether the earlier prediction was wrong.
+//
+//emsim:noalloc
 func (u *Unit) Resolve(pc uint32, taken bool, target uint32, predictedTaken bool, predictedNext uint32) (mispredicted bool) {
+	//emsim:ignore noalloc dynamic dispatch by design; every in-tree Predictor is annotated noalloc
 	u.Dir.Update(pc, taken)
 	if taken {
 		u.BTB.Insert(pc, target)
@@ -293,7 +329,10 @@ func (u *Unit) Resolve(pc uint32, taken bool, target uint32, predictedTaken bool
 func (u *Unit) Stats() (lookups, mispredicts uint64) { return u.lookups, u.mispredicts }
 
 // Reset restores power-on state, including statistics.
+//
+//emsim:noalloc
 func (u *Unit) Reset() {
+	//emsim:ignore noalloc dynamic dispatch by design; every in-tree Predictor is annotated noalloc
 	u.Dir.Reset()
 	u.BTB.Reset()
 	u.lookups, u.mispredicts = 0, 0

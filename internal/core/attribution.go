@@ -107,11 +107,21 @@ func (m *Model) Attribute(tr cpu.Trace) *Attribution {
 			att.StageShare[s] /= att.TotalAbs
 		}
 	}
-	for pc, ia := range perInst {
+	// Emit instructions in ascending-PC order before the strength sort so
+	// equal totals tie-break identically on every run (map iteration order
+	// would otherwise leak into the report).
+	pcs := make([]uint32, 0, len(perInst))
+	//emsim:ignore determinism key collection is order-independent; the keys are sorted on the next line
+	for pc := range perInst {
+		pcs = append(pcs, pc)
+	}
+	sort.Slice(pcs, func(a, b int) bool { return pcs[a] < pcs[b] })
+	for _, pc := range pcs {
+		ia := perInst[pc]
 		ia.Executions = len(executed[pc])
 		att.Instructions = append(att.Instructions, *ia)
 	}
-	sort.Slice(att.Instructions, func(a, b int) bool {
+	sort.SliceStable(att.Instructions, func(a, b int) bool {
 		return att.Instructions[a].Total > att.Instructions[b].Total
 	})
 	return att

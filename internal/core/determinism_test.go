@@ -169,3 +169,33 @@ func TestAttributionInvariants(t *testing.T) {
 		t.Errorf("attribution invariant violated: %v", err)
 	}
 }
+
+func TestAttributionOrderIsDeterministic(t *testing.T) {
+	// Regression: the per-instruction table was built by ranging over a
+	// map and sorted unstably, so instructions with equal totals could
+	// swap places between runs. Repeated attributions of the same trace
+	// must now produce the identical instruction sequence.
+	m, _ := testModel(t)
+	words, err := MixedProgram(rand.New(rand.NewSource(7)), 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cpu.MustNew(cpu.DefaultConfig())
+	tr, err := c.RunProgram(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.Attribute(tr)
+	for rep := 0; rep < 5; rep++ {
+		got := m.Attribute(tr)
+		if len(got.Instructions) != len(want.Instructions) {
+			t.Fatalf("rep %d: %d instructions, want %d", rep, len(got.Instructions), len(want.Instructions))
+		}
+		for i := range want.Instructions {
+			if got.Instructions[i] != want.Instructions[i] {
+				t.Fatalf("rep %d: instruction %d differs: %+v vs %+v",
+					rep, i, got.Instructions[i], want.Instructions[i])
+			}
+		}
+	}
+}

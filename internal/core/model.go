@@ -238,6 +238,8 @@ func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace, averaged bool) floa
 }
 
 // CycleAmplitude predicts the per-cycle signal amplitude X[n] (Equ. 9).
+//
+//emsim:noalloc
 func (m *Model) CycleAmplitude(c *cpu.Cycle) float64 {
 	if m.Options.PerStageSources {
 		x := m.MISOIntercept

@@ -39,6 +39,7 @@ type ampSink struct {
 	rec *signal.Reconstructor
 }
 
+//emsim:noalloc
 func (a *ampSink) Cycle(c *cpu.Cycle) error {
 	a.rec.Add(a.m.CycleAmplitude(c))
 	return nil
@@ -88,9 +89,12 @@ func (s *Session) Stats() cpu.Stats { return s.core.Stats() }
 // back as dst makes steady-state reuse allocation-free. The returned
 // slice aliases dst (or the session's grown buffer) and is valid until
 // the next call that reuses it.
+//
+//emsim:noalloc
 func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64, error) {
 	s.rec.Start(dst)
 	if err := s.core.RunProgramTo(words, &s.sink); err != nil {
+		//emsim:ignore noalloc cold failure path: the simulation already aborted
 		return nil, fmt.Errorf("core: simulate: %w", err)
 	}
 	return s.rec.Finish(), nil

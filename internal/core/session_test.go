@@ -99,6 +99,33 @@ func TestSessionSimulateIntoSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestCycleAmplitudeDoesNotAllocate pins Model.CycleAmplitude (and its
+// contribution/ampKeyFor/stageSource helpers) directly, outside the
+// Session pipeline: evaluating the model on every streamed cycle of a
+// warm core must not allocate.
+func TestCycleAmplitudeDoesNotAllocate(t *testing.T) {
+	m, _ := testModel(t)
+	c := cpu.MustNew(cpu.DefaultConfig())
+	words := sessionGoldenPrograms(t)["mixed"]
+	var sum float64
+	sink := cpu.CycleSinkFunc(func(cy *cpu.Cycle) error {
+		sum += m.CycleAmplitude(cy)
+		return nil
+	})
+	if err := c.RunProgramTo(words, sink); err != nil { // warm memory pages
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := c.RunProgramTo(words, sink); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("warm CycleAmplitude streaming allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sum
+}
+
 // TestSimulateBatchMatchesSequential checks the parallel fan-out returns
 // exactly the sequential per-program signals, in input order, for several
 // worker counts (run under -race this also exercises the fan-out for

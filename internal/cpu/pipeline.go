@@ -235,36 +235,43 @@ func (c *CPU) forward(r isa.Reg) uint32 {
 // while the load is leaving it); without forwarding any producer still in
 // EX or MEM stalls the consumer.
 func (c *CPU) rawHazard() bool {
-	id := &c.st[ID]
-	if id.bubble {
+	if c.st[ID].bubble {
 		return false
 	}
-	reads := func(r isa.Reg) bool {
-		if r == isa.Zero {
-			return false
-		}
-		return (id.inst.Op.ReadsRs1() && id.inst.Rs1 == r) ||
-			(id.inst.Op.ReadsRs2() && id.inst.Rs2 == r)
-	}
-	writes := func(s *slot) (isa.Reg, bool) {
-		if s.bubble || !s.inst.Op.WritesRd() || s.inst.Rd == isa.Zero {
-			return 0, false
-		}
-		return s.inst.Rd, true
-	}
 	if c.cfg.Forwarding {
-		if rd, ok := writes(&c.st[EX]); ok && c.st[EX].inst.Op.IsLoad() && reads(rd) {
+		if rd, ok := slotWrites(&c.st[EX]); ok && c.st[EX].inst.Op.IsLoad() && c.idReads(rd) {
 			return true
 		}
 		return false
 	}
-	if rd, ok := writes(&c.st[EX]); ok && reads(rd) {
+	if rd, ok := slotWrites(&c.st[EX]); ok && c.idReads(rd) {
 		return true
 	}
-	if rd, ok := writes(&c.st[MEM]); ok && reads(rd) {
+	if rd, ok := slotWrites(&c.st[MEM]); ok && c.idReads(rd) {
 		return true
 	}
 	return false
+}
+
+// idReads reports whether the instruction currently in ID reads register
+// r. (Hoisted out of rawHazard: a closure there allocates per Step under
+// the noalloc analyzer's conservative model.)
+func (c *CPU) idReads(r isa.Reg) bool {
+	if r == isa.Zero {
+		return false
+	}
+	id := &c.st[ID]
+	return (id.inst.Op.ReadsRs1() && id.inst.Rs1 == r) ||
+		(id.inst.Op.ReadsRs2() && id.inst.Rs2 == r)
+}
+
+// slotWrites returns the destination register the slot's instruction
+// will write, if any.
+func slotWrites(s *slot) (isa.Reg, bool) {
+	if s.bubble || !s.inst.Op.WritesRd() || s.inst.Rd == isa.Zero {
+		return 0, false
+	}
+	return s.inst.Rd, true
 }
 
 // effectiveImm returns the operand-ready immediate value for the decode
@@ -365,8 +372,11 @@ func (c *CPU) Step() (Cycle, error) {
 // record in place, allocating nothing. It is the hot-path form of Step:
 // the streaming run loop reuses one record for the whole run. Calling
 // StepInto on a halted core is an error.
+//
+//emsim:noalloc
 func (c *CPU) StepInto(rec *Cycle) error {
 	if c.halted {
+		//emsim:ignore noalloc cold misuse path: stepping a halted core already left the steady state
 		return fmt.Errorf("cpu: step after halt (cycle %d)", c.cycle)
 	}
 	*rec = Cycle{N: c.cycle}

@@ -53,14 +53,18 @@ func TeeSink(sinks ...CycleSink) CycleSink {
 // is reused between cycles (see CycleSink), which makes a steady-state
 // run allocation-free: nothing per-cycle is retained unless the sink
 // chooses to.
+//
+//emsim:noalloc
 func (c *CPU) RunTo(sink CycleSink) error {
 	for !c.halted {
 		if c.cycle >= c.cfg.MaxCycles {
+			//emsim:ignore noalloc cold failure path: the run is aborting
 			return fmt.Errorf("cpu: program exceeded %d cycles without halting", c.cfg.MaxCycles)
 		}
 		if err := c.StepInto(&c.scratch); err != nil {
 			return err
 		}
+		//emsim:ignore noalloc dynamic dispatch by design; every in-tree sink is itself annotated noalloc
 		if err := sink.Cycle(&c.scratch); err != nil {
 			return err
 		}
@@ -73,6 +77,8 @@ func (c *CPU) RunTo(sink CycleSink) error {
 // handing every cycle to sink instead of accumulating a Trace. Repeated
 // calls on one core reuse its memory pages, cache arrays and cycle
 // scratch record, so same-shaped reruns allocate nothing.
+//
+//emsim:noalloc
 func (c *CPU) RunProgramTo(words []uint32, sink CycleSink) error {
 	c.Reset()
 	c.LoadProgram(c.cfg.ResetVector, words)

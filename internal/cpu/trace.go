@@ -36,20 +36,33 @@ func (s Stage) String() string {
 // data-dependent activity features (the T vector of Equ. 8).
 const MaxLatchWords = 3
 
-// latchWords gives the number of meaningful latch words per stage.
-var latchWords = [NumStages]int{
-	IF:  2, // PC, fetched instruction word
-	ID:  3, // rs1 value, rs2 value, effective immediate
-	EX:  3, // operand A, operand B, ALU result
-	MEM: 2, // memory address, memory data (load result or store data)
-	WB:  2, // writeback value, one-hot destination register
+// LatchWords returns how many 32-bit latches stage s exposes. The
+// switch is deliberately exhaustive (enforced by the stageexhaustive
+// analyzer): a new stage must declare its latch budget before anything
+// derives feature widths from it.
+//
+//emsim:noalloc
+func LatchWords(s Stage) int {
+	switch s {
+	case IF:
+		return 2 // PC, fetched instruction word
+	case ID:
+		return 3 // rs1 value, rs2 value, effective immediate
+	case EX:
+		return 3 // operand A, operand B, ALU result
+	case MEM:
+		return 2 // memory address, memory data (load result or store data)
+	case WB:
+		return 2 // writeback value, one-hot destination register
+	default:
+		panic("cpu: LatchWords of invalid stage")
+	}
 }
 
-// LatchWords returns how many 32-bit latches stage s exposes.
-func LatchWords(s Stage) int { return latchWords[s] }
-
 // FeatureBits returns the width of stage s's transition-bit feature vector.
-func FeatureBits(s Stage) int { return 32 * latchWords[s] }
+//
+//emsim:noalloc
+func FeatureBits(s Stage) int { return 32 * LatchWords(s) }
 
 // TotalFeatureBits is the width of the concatenated all-stage feature
 // vector.
@@ -89,6 +102,8 @@ type StageTrace struct {
 
 // FlipCount returns the total number of transition bits in the stage this
 // cycle.
+//
+//emsim:noalloc
 func (st *StageTrace) FlipCount() int {
 	n := 0
 	for _, f := range st.Flip {
@@ -99,6 +114,8 @@ func (st *StageTrace) FlipCount() int {
 
 // FlipBit reports whether transition bit i (0-based across the stage's
 // latch words) toggled this cycle.
+//
+//emsim:noalloc
 func (st *StageTrace) FlipBit(i int) bool {
 	return st.Flip[i/32]>>(uint(i)%32)&1 == 1
 }
@@ -106,6 +123,8 @@ func (st *StageTrace) FlipBit(i int) bool {
 // Cluster returns the Table I cluster the occupying instruction belongs to
 // this cycle, resolving loads by the observed cache outcome. Bubbles
 // report the ALU cluster (they behave like injected NOPs).
+//
+//emsim:noalloc
 func (st *StageTrace) Cluster() isa.Cluster {
 	if st.Bubble || !st.Op.Valid() {
 		return isa.ClusterALU

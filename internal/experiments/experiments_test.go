@@ -94,6 +94,9 @@ func TestCombinationConstants(t *testing.T) {
 }
 
 func TestFigure1SinExpWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: the kernel-shape sweep refits the full grid per candidate")
+	}
 	e := testEnv(t)
 	r, err := e.Figure1()
 	if err != nil {
@@ -268,6 +271,9 @@ func TestManufacturingVariabilityNegligible(t *testing.T) {
 }
 
 func TestBoardVariabilityRetrainRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: each simulated board retrains from scratch")
+	}
 	e := testEnv(t)
 	r, err := e.BoardVariability()
 	if err != nil {
@@ -426,6 +432,9 @@ func TestForwardingStudyNoSignificantDifference(t *testing.T) {
 }
 
 func TestSamplingRateStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: the study retrains at every sampling rate")
+	}
 	e := testEnv(t)
 	r, err := e.SamplingRateStudy()
 	if err != nil {
@@ -450,6 +459,9 @@ func TestSamplingRateStudyShape(t *testing.T) {
 }
 
 func TestTrainingBudgetStudyDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode: the study retrains at every budget point")
+	}
 	e := testEnv(t)
 	r, err := e.TrainingBudgetStudy()
 	if err != nil {

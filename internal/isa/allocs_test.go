@@ -1,0 +1,47 @@
+package isa
+
+import "testing"
+
+// Sinks keep the compiler from discarding the pinned calls.
+var (
+	allocSinkBool bool
+	allocSinkInt  int
+)
+
+// TestAnnotatedFuncsDoNotAllocate is the runtime counterpart of
+// emsim-vet's noalloc analyzer for this package: every //emsim:noalloc
+// function (the Op/Reg/Inst predicates, TryDecode with its signExtend
+// helper, and the cluster mappers) is exercised under AllocsPerRun and
+// pinned at zero heap allocations.
+func TestAnnotatedFuncsDoNotAllocate(t *testing.T) {
+	words := []uint32{
+		0x00000000, // invalid (drain word)
+		0x00108093, // ADDI
+		0x0000A083, // LW
+		0x0020A023, // SW
+		0x00208063, // BEQ
+		0x0000006F, // JAL
+		0x02000033, // MUL
+		0x00000073, // ECALL
+		0x00000013, // canonical NOP
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		n := 0
+		for _, w := range words {
+			in, ok := TryDecode(w)
+			if !ok {
+				continue
+			}
+			o := in.Op
+			allocSinkBool = o.Valid() && in.Rd.Valid() && in.Rs1.Valid() && in.Rs2.Valid()
+			allocSinkBool = o.IsLoad() || o.IsStore() || o.IsBranch() || o.IsJump() ||
+				o.IsMulDiv() || o.IsSystem() || in.IsNOP()
+			allocSinkBool = o.WritesRd() || o.ReadsRs1() || o.ReadsRs2()
+			n += int(o.Format()) + int(StaticCluster(o)) + int(DynamicCluster(o, false))
+		}
+		allocSinkInt = n
+	})
+	if allocs > 0 {
+		t.Errorf("annotated isa functions allocate %.1f times per run, want 0", allocs)
+	}
+}

@@ -45,6 +45,8 @@ func (c Cluster) Valid() bool { return c < NumClusters }
 // StaticCluster maps a mnemonic to its Table I cluster assuming cache hits
 // for loads (the common case). Use DynamicCluster when the hit/miss outcome
 // is known.
+//
+//emsim:noalloc
 func StaticCluster(o Op) Cluster {
 	switch {
 	case o.IsMulDiv():
@@ -67,6 +69,8 @@ func StaticCluster(o Op) Cluster {
 
 // DynamicCluster maps a mnemonic plus the observed cache outcome to the
 // runtime cluster: loads that miss move from ClusterCache to ClusterLoad.
+//
+//emsim:noalloc
 func DynamicCluster(o Op, cacheHit bool) Cluster {
 	if o.IsLoad() && !cacheHit {
 		return ClusterLoad

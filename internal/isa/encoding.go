@@ -176,6 +176,13 @@ func MustEncode(i Inst) uint32 {
 	return w
 }
 
+// rTypeOps lists the OP-major-opcode mnemonics TryDecode matches by
+// funct3/funct7 (hoisted to package level: a slice literal in the
+// decoder would be rebuilt on every fetched word).
+var rTypeOps = [...]Op{ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+	MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU}
+
+//emsim:noalloc
 func signExtend(v uint32, bits uint) int32 {
 	shift := 32 - bits
 	return int32(v<<shift) >> shift
@@ -217,6 +224,8 @@ func decodeError(word uint32) error {
 		return fmt.Errorf("isa: bad OP funct3/funct7 %#b/%#b in %#08x", funct3, funct7, word)
 	case opcSystem:
 		return fmt.Errorf("isa: unsupported SYSTEM word %#08x", word)
+	case opcMisc:
+		return fmt.Errorf("isa: non-canonical FENCE word %#08x", word)
 	}
 	return fmt.Errorf("isa: unknown opcode %#07b in word %#08x", opcode, word)
 }
@@ -226,6 +235,8 @@ func decodeError(word uint32) error {
 // allocates, which matters to the pipeline's fetch path: a core draining
 // after a halt keeps presenting unprogrammed (zero) words to the decoder
 // every cycle.
+//
+//emsim:noalloc
 func TryDecode(word uint32) (Inst, bool) {
 	opcode := word & 0x7F
 	rd := Reg((word >> 7) & 0x1F)
@@ -328,8 +339,7 @@ func TryDecode(word uint32) (Inst, bool) {
 			return Inst{}, false
 		}
 	case opcOp:
-		for _, op := range []Op{ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
-			MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU} {
+		for _, op := range rTypeOps {
 			e := encTable[op]
 			if e.funct3 == funct3 && e.funct7 == funct7 {
 				return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, true
@@ -337,12 +347,22 @@ func TryDecode(word uint32) (Inst, bool) {
 		}
 		return Inst{}, false
 	case opcMisc:
-		return Inst{Op: FENCE}, true
+		// Only the canonical FENCE word is accepted: the simulator treats
+		// every fence as a full fence, never emits ordering-hint bits, and
+		// does not implement FENCE.I (funct3 001). Strictness here keeps
+		// Encode/TryDecode a bijection, which FuzzDecodeConsistency pins.
+		if word == opcMisc {
+			return Inst{Op: FENCE}, true
+		}
+		return Inst{}, false
 	case opcSystem:
-		switch word >> 20 {
-		case 0:
+		// ECALL and EBREAK are exact 32-bit words; every other SYSTEM
+		// encoding (the CSR space, WFI, ...) is unsupported and must be
+		// rejected, not folded into ECALL.
+		switch word {
+		case opcSystem:
 			return Inst{Op: ECALL}, true
-		case 1:
+		case 1<<20 | opcSystem:
 			return Inst{Op: EBREAK}, true
 		}
 		return Inst{}, false

@@ -1,0 +1,115 @@
+package isa
+
+import "testing"
+
+// TestDecodeRejectsNonCanonicalSystemWords pins a bug the fuzz target
+// found: TryDecode classified any SYSTEM word with a zero upper
+// immediate as ECALL (swallowing the entire CSR space) and any MISC-MEM
+// word as FENCE (including FENCE.I and hint-bit variants). Only the
+// canonical Encode outputs are valid.
+func TestDecodeRejectsNonCanonicalSystemWords(t *testing.T) {
+	accept := map[uint32]Op{
+		0x00000073: ECALL,
+		0x00100073: EBREAK,
+		0x0000000F: FENCE,
+	}
+	for word, op := range accept {
+		in, ok := TryDecode(word)
+		if !ok || in.Op != op {
+			t.Errorf("TryDecode(%#08x) = %+v, %v; want op %v", word, in, ok, op)
+		}
+	}
+	reject := []uint32{
+		0x00002073, // CSRRS shape: SYSTEM with funct3=010
+		0x00001073, // CSRRW shape
+		0x00000173, // SYSTEM with rd=x2
+		0x00200073, // URET/other upper-immediate SYSTEM words
+		0x0000100F, // FENCE.I
+		0x0FF0000F, // FENCE with pred/succ hint bits
+		0x0000008F, // FENCE shape with rd=x1
+	}
+	for _, word := range reject {
+		if in, ok := TryDecode(word); ok {
+			t.Errorf("TryDecode(%#08x) accepted as %+v; want rejection", word, in)
+		}
+		if _, err := Decode(word); err == nil {
+			t.Errorf("Decode(%#08x) succeeded; want error", word)
+		}
+	}
+}
+
+// FuzzDecodeConsistency checks the two decoder entry points against each
+// other over the full 32-bit word space: TryDecode (the allocation-free
+// fetch-path decoder) and Decode (the error-reporting front end) must
+// agree on validity, and when a word is valid they must produce the same
+// instruction. Valid words must additionally survive an Encode round
+// trip back to the original bit pattern, and the decoded fields must be
+// in range for the instruction's format.
+func FuzzDecodeConsistency(f *testing.F) {
+	// Seed one word per opcode class plus edge patterns: all-zeros (the
+	// drain word a halted core keeps fetching), all-ones, and words that
+	// differ from valid encodings only in funct3/funct7.
+	seeds := []uint32{
+		0x00000000,             // unknown opcode (drain word)
+		0xFFFFFFFF,             // all ones
+		0x000000B7,             // LUI x1, 0
+		0x00000097,             // AUIPC x1, 0
+		0x0000006F,             // JAL x0, 0
+		0x00008067,             // JALR x0, x1, 0
+		0x00208063,             // BEQ x1, x2, 0
+		0x0000A083,             // LW x1, 0(x1)
+		0x0020A023,             // SW x2, 0(x1)
+		0x00108093,             // ADDI x1, x1, 1
+		0x001090B3,             // SLL-shaped OP word
+		0x40000033,             // SUB-shaped OP word
+		0x02000033,             // MUL-shaped OP word
+		0x00002073,             // bad SYSTEM word
+		0x00001067,             // JALR with bad funct3
+		0x00009063,             // branch with bad funct3
+		0x0000B083,             // load with bad funct3
+		0x0000B023,             // store with bad funct3
+		0xFE009093, 0x40001013, // shift-immediate words with bad funct7
+	}
+	for _, w := range seeds {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		tryInst, ok := TryDecode(word)
+		inst, err := Decode(word)
+		if ok == (err != nil) {
+			t.Fatalf("decoders disagree on %#08x: TryDecode ok=%v, Decode err=%v", word, ok, err)
+		}
+		if !ok {
+			if tryInst != (Inst{}) {
+				t.Fatalf("TryDecode(%#08x) rejected the word but returned non-zero %+v", word, tryInst)
+			}
+			return
+		}
+		if tryInst != inst {
+			t.Fatalf("decoders disagree on %#08x: TryDecode=%+v Decode=%+v", word, tryInst, inst)
+		}
+		if !inst.Op.Valid() {
+			t.Fatalf("Decode(%#08x) produced invalid op %v", word, inst.Op)
+		}
+		if !inst.Rd.Valid() || !inst.Rs1.Valid() || !inst.Rs2.Valid() {
+			t.Fatalf("Decode(%#08x) produced out-of-range register in %+v", word, inst)
+		}
+		// LUI/AUIPC keep their immediate as a raw 20-bit field; everything
+		// else must fit its format's signed range.
+		if f := inst.Op.Format(); f != FormatR && f != FormatU {
+			if min, max := immRange(f); inst.Imm < min || inst.Imm > max {
+				t.Fatalf("Decode(%#08x) immediate %d outside [%d,%d] for %v", word, inst.Imm, min, max, inst.Op)
+			}
+		}
+		// A decoded instruction must encode back to the very word it came
+		// from — the decoder and encoder define the same bijection on the
+		// valid subset.
+		back, err := Encode(inst)
+		if err != nil {
+			t.Fatalf("Encode(Decode(%#08x)) failed: %v (inst %+v)", word, err, inst)
+		}
+		if back != word {
+			t.Fatalf("round trip changed the word: %#08x -> %+v -> %#08x", word, inst, back)
+		}
+	})
+}

@@ -101,6 +101,8 @@ func (r Reg) String() string {
 }
 
 // Valid reports whether r names an architectural register.
+//
+//emsim:noalloc
 func (r Reg) Valid() bool { return r < NumRegs }
 
 // Op enumerates every RV32IM mnemonic the simulator understands.
@@ -212,6 +214,8 @@ func (o Op) String() string {
 }
 
 // Valid reports whether o is a defined mnemonic.
+//
+//emsim:noalloc
 func (o Op) Valid() bool { return o > OpInvalid && o < numOps }
 
 // Format identifies the RISC-V encoding format of an instruction.
@@ -246,6 +250,8 @@ func (f Format) String() string {
 }
 
 // Format returns the encoding format of the mnemonic.
+//
+//emsim:noalloc
 func (o Op) Format() Format {
 	switch o {
 	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
@@ -265,6 +271,8 @@ func (o Op) Format() Format {
 }
 
 // IsLoad reports whether o reads data memory.
+//
+//emsim:noalloc
 func (o Op) IsLoad() bool {
 	switch o {
 	case LB, LH, LW, LBU, LHU:
@@ -274,6 +282,8 @@ func (o Op) IsLoad() bool {
 }
 
 // IsStore reports whether o writes data memory.
+//
+//emsim:noalloc
 func (o Op) IsStore() bool {
 	switch o {
 	case SB, SH, SW:
@@ -283,6 +293,8 @@ func (o Op) IsStore() bool {
 }
 
 // IsBranch reports whether o is a conditional branch.
+//
+//emsim:noalloc
 func (o Op) IsBranch() bool {
 	switch o {
 	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
@@ -292,9 +304,13 @@ func (o Op) IsBranch() bool {
 }
 
 // IsJump reports whether o is an unconditional control transfer.
+//
+//emsim:noalloc
 func (o Op) IsJump() bool { return o == JAL || o == JALR }
 
 // IsMulDiv reports whether o uses the multi-cycle multiply/divide unit.
+//
+//emsim:noalloc
 func (o Op) IsMulDiv() bool {
 	switch o {
 	case MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
@@ -305,11 +321,15 @@ func (o Op) IsMulDiv() bool {
 
 // IsSystem reports whether o is ECALL or EBREAK, which halt the simulated
 // core (the paper models bare-metal execution only).
+//
+//emsim:noalloc
 func (o Op) IsSystem() bool { return o == ECALL || o == EBREAK }
 
 // WritesRd reports whether the instruction architecturally writes a
 // destination register. Writes to x0 are still "writes" at this level; the
 // register file discards them.
+//
+//emsim:noalloc
 func (o Op) WritesRd() bool {
 	switch o.Format() {
 	case FormatS, FormatB:
@@ -319,6 +339,8 @@ func (o Op) WritesRd() bool {
 }
 
 // ReadsRs1 reports whether the instruction reads its rs1 field.
+//
+//emsim:noalloc
 func (o Op) ReadsRs1() bool {
 	switch o.Format() {
 	case FormatU, FormatJ:
@@ -328,6 +350,8 @@ func (o Op) ReadsRs1() bool {
 }
 
 // ReadsRs2 reports whether the instruction reads its rs2 field.
+//
+//emsim:noalloc
 func (o Op) ReadsRs2() bool {
 	switch o.Format() {
 	case FormatR, FormatS, FormatB:
@@ -354,6 +378,8 @@ type Inst struct {
 var NOP = Inst{Op: ADDI, Rd: X0, Rs1: X0, Imm: 0}
 
 // IsNOP reports whether the instruction is the canonical NOP encoding.
+//
+//emsim:noalloc
 func (i Inst) IsNOP() bool {
 	return i.Op == ADDI && i.Rd == X0 && i.Rs1 == X0 && i.Imm == 0
 }

@@ -86,6 +86,7 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 		oi := out.Row(i)
 		for k := 0; k < m.Cols; k++ {
 			a := mi[k]
+			//emsim:ignore floatcmp skipping exactly-zero entries cannot change the product; it only exploits sparsity
 			if a == 0 {
 				continue
 			}

@@ -25,10 +25,12 @@ func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint32]*page)}
 }
 
+//emsim:noalloc
 func (m *Memory) pageFor(addr uint32, create bool) *page {
 	idx := addr >> pageBits
 	p := m.pages[idx]
 	if p == nil && create {
+		//emsim:ignore noalloc pages allocate once on first touch; Reset zeroes them in place so reruns stay steady-state
 		p = new(page)
 		m.pages[idx] = p
 	}
@@ -36,6 +38,8 @@ func (m *Memory) pageFor(addr uint32, create bool) *page {
 }
 
 // LoadByte returns the byte at addr.
+//
+//emsim:noalloc
 func (m *Memory) LoadByte(addr uint32) byte {
 	p := m.pageFor(addr, false)
 	if p == nil {
@@ -45,12 +49,16 @@ func (m *Memory) LoadByte(addr uint32) byte {
 }
 
 // StoreByte stores b at addr.
+//
+//emsim:noalloc
 func (m *Memory) StoreByte(addr uint32, b byte) {
 	m.pageFor(addr, true)[addr&pageMask] = b
 }
 
 // ReadWord returns the 32-bit little-endian word at addr. The address need
 // not be aligned; the simulated core enforces its own alignment policy.
+//
+//emsim:noalloc
 func (m *Memory) ReadWord(addr uint32) uint32 {
 	return uint32(m.LoadByte(addr)) |
 		uint32(m.LoadByte(addr+1))<<8 |
@@ -59,6 +67,8 @@ func (m *Memory) ReadWord(addr uint32) uint32 {
 }
 
 // WriteWord stores a 32-bit little-endian word at addr.
+//
+//emsim:noalloc
 func (m *Memory) WriteWord(addr uint32, v uint32) {
 	m.StoreByte(addr, byte(v))
 	m.StoreByte(addr+1, byte(v>>8))
@@ -67,17 +77,23 @@ func (m *Memory) WriteWord(addr uint32, v uint32) {
 }
 
 // ReadHalf returns the 16-bit little-endian halfword at addr.
+//
+//emsim:noalloc
 func (m *Memory) ReadHalf(addr uint32) uint16 {
 	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
 }
 
 // WriteHalf stores a 16-bit little-endian halfword at addr.
+//
+//emsim:noalloc
 func (m *Memory) WriteHalf(addr uint32, v uint16) {
 	m.StoreByte(addr, byte(v))
 	m.StoreByte(addr+1, byte(v>>8))
 }
 
 // LoadBytes copies data into memory starting at addr.
+//
+//emsim:noalloc
 func (m *Memory) LoadBytes(addr uint32, data []byte) {
 	for i, b := range data {
 		m.StoreByte(addr+uint32(i), b)
@@ -85,6 +101,8 @@ func (m *Memory) LoadBytes(addr uint32, data []byte) {
 }
 
 // LoadWords copies 32-bit words into memory starting at addr.
+//
+//emsim:noalloc
 func (m *Memory) LoadWords(addr uint32, words []uint32) {
 	for i, w := range words {
 		m.WriteWord(addr+uint32(4*i), w)
@@ -95,6 +113,8 @@ func (m *Memory) LoadWords(addr uint32, words []uint32) {
 // place rather than released, so a load/run/reset cycle that touches the
 // same addresses reaches a steady state with no allocations — the
 // property the reusable simulation Session relies on.
+//
+//emsim:noalloc
 func (m *Memory) Reset() {
 	for _, p := range m.pages {
 		*p = page{}
@@ -204,6 +224,8 @@ func (c *Cache) index(addr uint32) (set int, tag uint32) {
 // number of extra stall cycles the pipeline must insert. Misses allocate
 // the line (loads and stores both allocate, write-through keeps memory
 // authoritative so no writeback traffic is modeled).
+//
+//emsim:noalloc
 func (c *Cache) Access(addr uint32) (hit bool, stallCycles int) {
 	c.tick++
 	set, tag := c.index(addr)
@@ -233,6 +255,8 @@ func (c *Cache) Access(addr uint32) (hit bool, stallCycles int) {
 }
 
 // Probe reports whether addr would hit, without changing cache state.
+//
+//emsim:noalloc
 func (c *Cache) Probe(addr uint32) bool {
 	set, tag := c.index(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
@@ -255,6 +279,8 @@ func (c *Cache) Warm(addr uint32) {
 }
 
 // Flush invalidates every line.
+//
+//emsim:noalloc
 func (c *Cache) Flush() {
 	for s := range c.valid {
 		for w := range c.valid[s] {
@@ -269,4 +295,6 @@ func (c *Cache) Flush() {
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
 // ResetStats zeroes the hit/miss counters without touching cache contents.
+//
+//emsim:noalloc
 func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }

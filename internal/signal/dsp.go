@@ -36,6 +36,7 @@ func GaussianFilter(x []float64, sigma float64) ([]float64, error) {
 	if sigma < 0 {
 		return nil, fmt.Errorf("signal: negative sigma %g", sigma)
 	}
+	//emsim:ignore floatcmp sigma 0 is the documented pass-through sentinel, supplied literally by callers
 	if sigma == 0 {
 		return append([]float64(nil), x...), nil
 	}
@@ -110,9 +111,11 @@ func NCC(a, b []float64) (float64, error) {
 		saa += a[i] * a[i]
 		sbb += b[i] * b[i]
 	}
+	//emsim:ignore floatcmp exactly-zero energy distinguishes all-zero signals per the doc contract
 	if saa == 0 && sbb == 0 {
 		return 1, nil
 	}
+	//emsim:ignore floatcmp exactly-zero energy distinguishes all-zero signals per the doc contract
 	if saa == 0 || sbb == 0 {
 		return 0, nil
 	}
@@ -128,6 +131,7 @@ func NormalizeMeanAbs(x []float64) []float64 {
 		s += math.Abs(v)
 	}
 	out := make([]float64, len(x))
+	//emsim:ignore floatcmp a sum of absolute values is exactly zero only for all-zero input
 	if s == 0 {
 		copy(out, x)
 		return out

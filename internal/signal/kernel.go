@@ -118,7 +118,10 @@ func Reconstruct(x []float64, samplesPerCycle int, k Kernel) ([]float64, error) 
 // returned. Passing the previous output back as dst makes repeated
 // same-shaped reconstructions allocation-free apart from the tap table;
 // callers that also want the taps cached should use a Reconstructor.
+//
+//emsim:noalloc
 func ReconstructInto(dst []float64, x []float64, samplesPerCycle int, k Kernel) ([]float64, error) {
+	//emsim:ignore noalloc the tap table is sampled once per call; the per-cycle render loop below stays allocation-free
 	taps, err := k.Taps(samplesPerCycle)
 	if err != nil {
 		return nil, err
@@ -126,6 +129,7 @@ func ReconstructInto(dst []float64, x []float64, samplesPerCycle int, k Kernel) 
 	n := len(x) * samplesPerCycle
 	dst = growZeroed(dst[:0], n)
 	for c, amp := range x {
+		//emsim:ignore floatcmp skipping exactly-zero amplitudes is a pure optimization; near-zero cycles still render
 		if amp == 0 {
 			continue
 		}

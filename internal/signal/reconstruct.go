@@ -3,10 +3,13 @@ package signal
 // growZeroed returns s extended to length n with every element zeroed.
 // The backing array is reused when its capacity suffices; only growth
 // beyond the capacity allocates. s must have length <= n.
+//
+//emsim:noalloc
 func growZeroed(s []float64, n int) []float64 {
 	if n <= cap(s) {
 		s = s[:n]
 	} else {
+		//emsim:ignore noalloc amortized warm-up growth; a steady-state reuse cycle never reaches this branch
 		grown := make([]float64, n, n+n/2)
 		copy(grown, s)
 		s = grown
@@ -58,12 +61,16 @@ func (r *Reconstructor) SamplesPerCycle() int { return r.spc }
 // Start begins a new signal, rendering into dst's backing array (grown
 // only when needed). Pass the previous Finish result to reuse its
 // capacity, or nil to allocate fresh.
+//
+//emsim:noalloc
 func (r *Reconstructor) Start(dst []float64) {
 	r.out = growZeroed(dst[:0], 0)
 	r.cycles = 0
 }
 
 // extend grows the output to n samples, zeroing any newly exposed region.
+//
+//emsim:noalloc
 func (r *Reconstructor) extend(n int) {
 	if n <= len(r.out) {
 		return
@@ -75,6 +82,7 @@ func (r *Reconstructor) extend(n int) {
 			r.out[i] = 0
 		}
 	} else {
+		//emsim:ignore noalloc amortized warm-up growth; a steady-state reuse cycle never reaches this branch
 		grown := make([]float64, n, n+n/2)
 		copy(grown, r.out)
 		r.out = grown
@@ -84,9 +92,12 @@ func (r *Reconstructor) extend(n int) {
 // Add superposes one cycle's kernel instance, scaled by amp, at the next
 // cycle position. The tail reaching past the final cycle is trimmed by
 // Finish, exactly as Reconstruct truncates it.
+//
+//emsim:noalloc
 func (r *Reconstructor) Add(amp float64) {
 	base := r.cycles * r.spc
 	r.extend(base + len(r.taps))
+	//emsim:ignore floatcmp skipping exactly-zero amplitudes is a pure optimization; near-zero cycles still render
 	if amp != 0 {
 		out := r.out[base:]
 		for i, tap := range r.taps {
@@ -97,6 +108,8 @@ func (r *Reconstructor) Add(amp float64) {
 }
 
 // AddChunk streams a block of per-cycle amplitudes.
+//
+//emsim:noalloc
 func (r *Reconstructor) AddChunk(amps []float64) {
 	for _, a := range amps {
 		r.Add(a)
@@ -110,6 +123,8 @@ func (r *Reconstructor) Cycles() int { return r.cycles }
 // rendered signal: cycles×samplesPerCycle samples, bit-for-bit identical
 // to Reconstruct of the same amplitude series. The returned slice aliases
 // the reconstructor's buffer only until the next Start that reuses it.
+//
+//emsim:noalloc
 func (r *Reconstructor) Finish() []float64 {
 	n := r.cycles * r.spc
 	r.extend(n)

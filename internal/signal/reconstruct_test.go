@@ -136,4 +136,44 @@ func TestReconstructorSteadyStateAllocs(t *testing.T) {
 	if allocs > 0 {
 		t.Errorf("steady-state reconstruction allocates %.1f times per trace, want 0", allocs)
 	}
+
+	// The per-cycle Add path (the form the streaming sink uses) must be
+	// just as clean as the chunked one.
+	allocs = testing.AllocsPerRun(20, func() {
+		rec.Start(sig)
+		for _, amp := range x {
+			rec.Add(amp)
+		}
+		sig = rec.Finish()
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state per-amp reconstruction allocates %.1f times per trace, want 0", allocs)
+	}
+}
+
+// TestReconstructIntoAllocatesOnlyTapTable pins ReconstructInto's
+// documented exception: with a recycled destination it allocates exactly
+// what sampling the kernel's tap table costs, and nothing per cycle.
+func TestReconstructIntoAllocatesOnlyTapTable(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	x := randAmps(r, 128)
+	k := DefaultKernel()
+	sig, err := ReconstructInto(nil, x, 16, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapAllocs := testing.AllocsPerRun(20, func() {
+		if _, err := k.Taps(16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	allocs := testing.AllocsPerRun(20, func() {
+		sig, err = ReconstructInto(sig, x, 16, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > tapAllocs {
+		t.Errorf("warm ReconstructInto allocates %.1f times per call, want at most the tap table's %.1f", allocs, tapAllocs)
+	}
 }

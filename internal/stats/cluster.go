@@ -244,6 +244,7 @@ func equalSeries(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//emsim:ignore floatcmp bit-for-bit identity is the point: identical constant series get distance 0
 		if a[i] != b[i] {
 			return false
 		}

@@ -173,6 +173,7 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 		maxSel = lim // keep at least one residual degree of freedom
 	}
 	fScale := opts.FEnter
+	//emsim:ignore floatcmp zero is the unset-option sentinel, written literally, never computed
 	if fScale == 0 {
 		fScale = 1
 	}
@@ -234,7 +235,9 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 				continue
 			}
 			v, nv2 := orthogonalize(c)
-			if nv2 <= 1e-12*colNorm2[c] || nv2 == 0 {
+			// nv2 is a sum of squares, so nv2 <= 0 only when it is exactly
+			// zero — the tolerance test alone covers the all-zero column.
+			if nv2 <= 1e-12*colNorm2[c] {
 				continue // (near-)collinear with the current model
 			}
 			g := linalg.Dot(v, r)

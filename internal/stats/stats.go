@@ -95,6 +95,7 @@ func Pearson(a, b []float64) (float64, error) {
 		saa += da * da
 		sbb += db * db
 	}
+	//emsim:ignore floatcmp exactly-zero variance marks a constant series; tiny nonzero variance is legitimate data
 	if saa == 0 || sbb == 0 {
 		return 0, fmt.Errorf("stats: zero-variance series")
 	}

@@ -259,6 +259,49 @@ func TestWelchTIdenticalGroups(t *testing.T) {
 	}
 }
 
+func TestWelchTConstantGroupsRoundingNoise(t *testing.T) {
+	// Regression: two groups of identical 0.1 values, differing only in
+	// length, have means one ulp apart and a variance of a few ulp². The
+	// old exact se == 0 guard missed that and reported t ≈ 1.4 from pure
+	// rounding noise; the answer is 0.
+	a := []float64{0.1, 0.1, 0.1}
+	b := []float64{0.1, 0.1, 0.1, 0.1}
+	tstat, df, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstat != 0 {
+		t.Errorf("t = %v for numerically-constant equal groups, want 0", tstat)
+	}
+	if df != 5 {
+		t.Errorf("df = %v, want pooled 5", df)
+	}
+	// The same guard must still call genuinely different constants apart.
+	tstat, _, err = WelchT([]float64{0.1, 0.1, 0.1}, []float64{0.2, 0.2, 0.2, 0.2})
+	if err != nil || !math.IsInf(tstat, -1) {
+		t.Errorf("t = %v (%v) for distinct constant groups, want -Inf", tstat, err)
+	}
+}
+
+func TestApproxHelpers(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-12, DefaultRelTol) {
+		t.Error("values one part in 1e12 apart should compare equal at 1e-9")
+	}
+	if ApproxEqual(1.0, 1.0001, DefaultRelTol) {
+		t.Error("values one part in 1e4 apart should not compare equal at 1e-9")
+	}
+	inf := math.Inf(1)
+	if !ApproxEqual(inf, inf, DefaultRelTol) {
+		t.Error("equal infinities should compare equal")
+	}
+	if ApproxEqual(inf, -inf, DefaultRelTol) {
+		t.Error("opposite infinities should not compare equal")
+	}
+	if !ApproxZero(1e-15, 1e-12) || ApproxZero(1e-9, 1e-12) {
+		t.Error("ApproxZero tolerance bounds wrong")
+	}
+}
+
 func TestTVLATraceDetectsLeak(t *testing.T) {
 	r := rand.New(rand.NewSource(7))
 	width := 50

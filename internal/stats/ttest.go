@@ -17,8 +17,14 @@ func WelchT(a, b []float64) (t float64, df float64, err error) {
 	na, nb := float64(len(a)), float64(len(b))
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
-	if se == 0 {
-		if ma == mb {
+	// A numerically-constant group can carry a variance of a few ulp², so
+	// an exact se == 0 test misses it and the division below manufactures
+	// a sizable t from pure rounding noise (three 0.1s vs four 0.1s have
+	// means one ulp apart and se ~1e-17, giving t ≈ 1.4 where the answer
+	// is 0). Treat the standard error as zero whenever it is negligible
+	// against the means' magnitude.
+	if se <= 1e-12*math.Max(math.Abs(ma), math.Abs(mb)) {
+		if ApproxEqual(ma, mb, DefaultRelTol) {
 			return 0, na + nb - 2, nil
 		}
 		return math.Inf(sign(ma - mb)), na + nb - 2, nil
@@ -26,9 +32,8 @@ func WelchT(a, b []float64) (t float64, df float64, err error) {
 	t = (ma - mb) / se
 	num := (sa + sb) * (sa + sb)
 	den := sa*sa/(na-1) + sb*sb/(nb-1)
-	if den == 0 {
-		df = na + nb - 2
-	} else {
+	df = na + nb - 2
+	if den > 0 {
 		df = num / den
 	}
 	return t, df, nil
