@@ -1,0 +1,125 @@
+// emsim-serve is the long-lived EMSim simulation service: it loads (or
+// trains) one model at startup and serves simulation and leakage
+// assessment over HTTP JSON, with a bounded queue, a fixed worker pool
+// of pooled sessions, per-request deadlines, load shedding (429 +
+// Retry-After) and graceful drain on SIGTERM.
+//
+// Endpoints:
+//
+//	POST /v1/simulate  {"asm": "...", ...} or {"words": [...]}
+//	POST /v1/tvla      {"key_hex": "...", "fixed_hex": "...", "traces_per_group": N}
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /varz         queue depth, in-flight, cycles, latency percentiles
+//
+// Start it with a trained model (emsim-leakage or Model.SaveFile output):
+//
+//	emsim-serve -model board1.emsim -addr :8080
+//
+// or let it train a small synthetic-bench model at boot (a few seconds,
+// fine for development):
+//
+//	emsim-serve -addr :8080
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"emsim"
+	"emsim/internal/core"
+	"emsim/internal/device"
+	"emsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		modelPath = flag.String("model", "", "trained model file (empty: train a quick synthetic model at boot)")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 64, "accept queue depth (full queue sheds with 429)")
+		maxWords  = flag.Int("max-words", 65536, "largest accepted program, in words")
+		maxCycles = flag.Int("max-cycles", 0, "per-run cycle bound (0 = core default)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request simulation deadline")
+		maxTO     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp for client-supplied timeouts")
+		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+	)
+	flag.Parse()
+
+	model, err := loadOrTrain(*modelPath)
+	if err != nil {
+		log.Fatalf("emsim-serve: %v", err)
+	}
+
+	cfg := serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MaxProgramWords: *maxWords,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTO,
+	}
+	cfg.CPU = emsim.DefaultCPUConfig()
+	if *maxCycles > 0 {
+		cfg.CPU.MaxCycles = *maxCycles
+	}
+	srv, err := serve.New(model, cfg)
+	if err != nil {
+		log.Fatalf("emsim-serve: %v", err)
+	}
+	expvar.Publish("emsim", srv.Vars())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("emsim-serve: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("emsim-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers (and so
+	// their queued/running simulations) finish, then retire the pool.
+	log.Printf("emsim-serve: draining (up to %s)", *drainTO)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("emsim-serve: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("emsim-serve: drained")
+}
+
+// loadOrTrain reads a saved model, or trains a small deterministic one
+// against the synthetic bench when no path is given.
+func loadOrTrain(path string) (*core.Model, error) {
+	if path != "" {
+		log.Printf("emsim-serve: loading model %s", path)
+		return emsim.LoadModelFile(path)
+	}
+	log.Printf("emsim-serve: no -model given; training a quick synthetic model")
+	start := time.Now()
+	dev := device.MustNew(device.DefaultOptions())
+	m, err := emsim.Train(dev, emsim.TrainOptions{
+		Runs:                3,
+		InstancesPerCluster: 10,
+		MixedPrograms:       2,
+		MixedLength:         200,
+		Seed:                7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("emsim-serve: trained in %s", time.Since(start).Round(time.Millisecond))
+	return m, nil
+}

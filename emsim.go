@@ -119,6 +119,11 @@ type (
 	Model = core.Model
 	// Session is the reusable streaming simulation pipeline: one
 	// resettable core plus buffers, ~0 allocations per simulated trace.
+	// The *Context method variants (SimulateProgramContext,
+	// SimulateBatchContext) accept a context.Context that can cancel a
+	// simulation mid-run; the cycle loop checks it every
+	// cpu.CtxCheckInterval cycles, so cancellation costs nothing on the
+	// hot path and still lands within ~1k cycles.
 	Session = core.Session
 	// ModelOptions holds the ablation switches of the paper's
 	// degradation studies.
@@ -175,7 +180,9 @@ type CycleSink = cpu.CycleSink
 // repeated simulations under one core configuration. Prefer it over
 // Model.SimulateProgram whenever more than a handful of programs are
 // simulated: steady-state reuse performs ~0 allocations per trace, and
-// SimulateBatch fans a program slice across parallel workers.
+// SimulateBatch fans a program slice across parallel workers. Servers
+// and other callers that need deadlines or cancellation use the
+// *Context variants (see Session).
 func NewSession(m *Model, cfg CPUConfig) (*Session, error) { return core.NewSession(m, cfg) }
 
 // DefaultDeviceOptions returns the baseline synthetic bench: board #1,

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+// batchTestPrograms returns a batch where exactly the programs at the
+// given indices never halt (and so fail the MaxCycles bound); every
+// other entry is a quick halting loop.
+func batchTestPrograms(t *testing.T, n int, failing ...int) [][]uint32 {
+	t.Helper()
+	insts := append(isa.Li(isa.T0, 3),
+		isa.Addi(isa.T0, isa.T0, -1),
+		isa.Bne(isa.T0, isa.Zero, -4),
+		isa.Ebreak(),
+	)
+	quick := make([]uint32, len(insts))
+	for i, in := range insts {
+		w, err := isa.Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		quick[i] = w
+	}
+	spin := []uint32{0x0000006F} // jal x0, 0: runs into the MaxCycles bound
+	progs := make([][]uint32, n)
+	for i := range progs {
+		progs[i] = quick
+	}
+	for _, i := range failing {
+		progs[i] = spin
+	}
+	return progs
+}
+
+// TestSimulateBatchDeterministicError pins the error-propagation fix:
+// with several failing programs in one batch, the reported error must
+// always cite the lowest failing index, no matter how the workers race.
+func TestSimulateBatchDeterministicError(t *testing.T) {
+	m, _ := testModel(t)
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 2000 // makes the spin programs fail fast
+	sess, err := NewSession(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The lowest failure sits late in the claim order so a racing worker
+	// will often hit index 9 or 13 first — exactly the nondeterminism the
+	// fix removes.
+	progs := batchTestPrograms(t, 16, 13, 9, 6)
+	for round := 0; round < 10; round++ {
+		out, err := sess.SimulateBatch(progs, 4)
+		if err == nil {
+			t.Fatal("batch with failing programs returned nil error")
+		}
+		if out != nil {
+			t.Fatal("failed batch returned non-nil results")
+		}
+		if !strings.Contains(err.Error(), "batch program 6:") {
+			t.Fatalf("round %d: batch error %q does not cite lowest failing index 6", round, err)
+		}
+	}
+}
+
+// TestSimulateBatchWorkerClamp pins that workers > len(programs) is
+// valid: the fan-out clamps to one worker per program and still returns
+// every result in order.
+func TestSimulateBatchWorkerClamp(t *testing.T) {
+	m, _ := testModel(t)
+	sess, err := NewSession(m, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchTestPrograms(t, 3)
+	out, err := sess.SimulateBatch(progs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(progs) {
+		t.Fatalf("batch returned %d results for %d programs", len(out), len(progs))
+	}
+	want, err := sess.SimulateProgram(progs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sig := range out {
+		if len(sig) != len(want) {
+			t.Errorf("result %d has %d samples, want %d", i, len(sig), len(want))
+		}
+	}
+}
+
+// TestSimulateBatchContextCancellation pins that cancelling the batch
+// context aborts in-flight simulations and surfaces ctx.Err().
+func TestSimulateBatchContextCancellation(t *testing.T) {
+	m, _ := testModel(t)
+	cfg := cpu.DefaultConfig()
+	cfg.MaxCycles = 1 << 30 // cancellation, not the cycle bound, must stop these
+	sess, err := NewSession(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := batchTestPrograms(t, 4, 0, 1, 2, 3) // all spin forever
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.SimulateBatchContext(ctx, progs, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch returned %v, want context.Canceled", err)
+	}
+}

@@ -237,6 +237,19 @@ func (m *Model) stageSource(s cpu.Stage, st *cpu.StageTrace, averaged bool) floa
 	return u
 }
 
+// StageContribution returns pipeline stage s's signed source term
+// M[s]·u_s for one cycle's stage record — the per-stage breakdown that
+// Attribute aggregates over a whole trace, exposed per cycle so
+// streaming consumers (a Session tee, the serving layer's per-stage
+// amplitude accumulator) can compute attributions without materializing
+// a cpu.Trace. Only meaningful with PerStageSources enabled; the
+// single-source ablation has no per-stage identity.
+//
+//emsim:noalloc
+func (m *Model) StageContribution(s cpu.Stage, st *cpu.StageTrace) float64 {
+	return m.MISO[s] * m.stageSource(s, st, false)
+}
+
 // CycleAmplitude predicts the per-cycle signal amplitude X[n] (Equ. 9).
 //
 //emsim:noalloc

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -33,15 +34,21 @@ type Session struct {
 
 // ampSink streams cycles from the core into the amplitude model and on
 // into the reconstructor. It lives inside the Session so converting it to
-// a cpu.CycleSink never allocates.
+// a cpu.CycleSink never allocates. When a tee is attached it sees every
+// cycle after the amplitude model consumed it.
 type ampSink struct {
 	m   *Model
 	rec *signal.Reconstructor
+	tee cpu.CycleSink
 }
 
 //emsim:noalloc
 func (a *ampSink) Cycle(c *cpu.Cycle) error {
 	a.rec.Add(a.m.CycleAmplitude(c))
+	if a.tee != nil {
+		//emsim:ignore noalloc dynamic dispatch by design; tee observers on the hot path must themselves be allocation-free
+		return a.tee.Cycle(c)
+	}
 	return nil
 }
 
@@ -83,6 +90,14 @@ func (s *Session) Cycles() int { return s.core.CycleCount() }
 // Stats returns the core statistics of the last simulated program.
 func (s *Session) Stats() cpu.Stats { return s.core.Stats() }
 
+// SetTee attaches an observer sink that sees every simulated cycle after
+// the amplitude model (or detaches the current one when sink is nil).
+// Serving layers use this to accumulate per-stage contributions or
+// custom statistics without a second run. The observer runs on the hot
+// path: it must not retain the *cpu.Cycle it is handed, and it should be
+// allocation-free if the session's zero-allocation property matters.
+func (s *Session) SetTee(sink cpu.CycleSink) { s.sink.tee = sink }
+
 // SimulateProgramInto runs the program on the session's core and renders
 // the predicted analog signal into dst's backing array, which is grown
 // only when its capacity is insufficient. Passing the previous output
@@ -92,8 +107,20 @@ func (s *Session) Stats() cpu.Stats { return s.core.Stats() }
 //
 //emsim:noalloc
 func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64, error) {
+	//emsim:ignore noalloc context.Background returns the shared static empty context
+	return s.SimulateProgramIntoContext(context.Background(), dst, words)
+}
+
+// SimulateProgramIntoContext is SimulateProgramInto with cancellation:
+// the simulation aborts with ctx.Err() when the context is cancelled or
+// its deadline passes, checked every cpu.CtxCheckInterval cycles. The
+// context plumbing costs one nil check per cycle for a context that can
+// never be cancelled, so the zero-allocation steady state is unchanged.
+//
+//emsim:noalloc
+func (s *Session) SimulateProgramIntoContext(ctx context.Context, dst []float64, words []uint32) ([]float64, error) {
 	s.rec.Start(dst)
-	if err := s.core.RunProgramTo(words, &s.sink); err != nil {
+	if err := s.core.RunProgramToContext(ctx, words, &s.sink); err != nil {
 		//emsim:ignore noalloc cold failure path: the simulation already aborted
 		return nil, fmt.Errorf("core: simulate: %w", err)
 	}
@@ -106,7 +133,13 @@ func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64,
 // returned signal is allocated. For fully allocation-free steady-state
 // reuse, use SimulateProgramInto with a recycled destination.
 func (s *Session) SimulateProgram(words []uint32) ([]float64, error) {
-	sig, err := s.SimulateProgramInto(s.sig, words)
+	return s.SimulateProgramContext(context.Background(), words)
+}
+
+// SimulateProgramContext is SimulateProgram with the cancellation
+// semantics of SimulateProgramIntoContext.
+func (s *Session) SimulateProgramContext(ctx context.Context, words []uint32) ([]float64, error) {
+	sig, err := s.SimulateProgramIntoContext(ctx, s.sig, words)
 	if err != nil {
 		return nil, err
 	}
@@ -118,10 +151,25 @@ func (s *Session) SimulateProgram(words []uint32) ([]float64, error) {
 
 // SimulateBatch simulates every program of a campaign, fanning the slice
 // across `workers` goroutines with one private Session each (workers <= 0
-// selects GOMAXPROCS). Results are returned in input order; each signal
-// is freshly allocated and safe to retain. The first simulation error
-// aborts the batch.
+// selects GOMAXPROCS; workers is clamped to len(programs) so no worker
+// ever idles on an empty range). Results are returned in input order;
+// each signal is freshly allocated and safe to retain. When simulations
+// fail, the error of the lowest-indexed failing program is returned —
+// deterministically, regardless of goroutine scheduling.
 func (s *Session) SimulateBatch(programs [][]uint32, workers int) ([][]float64, error) {
+	return s.SimulateBatchContext(context.Background(), programs, workers)
+}
+
+// SimulateBatchContext is SimulateBatch with cancellation: in-flight
+// simulations abort within cpu.CtxCheckInterval cycles of the context
+// being cancelled, and the batch returns ctx.Err().
+//
+// Error propagation is deterministic: after any program fails, workers
+// stop claiming programs beyond the lowest failing index but keep
+// simulating the ones before it, so the reported error is always the
+// lowest-indexed failure the batch contains — not whichever goroutine
+// lost the race.
+func (s *Session) SimulateBatchContext(ctx context.Context, programs [][]uint32, workers int) ([][]float64, error) {
 	if len(programs) == 0 {
 		return nil, nil
 	}
@@ -133,15 +181,27 @@ func (s *Session) SimulateBatch(programs [][]uint32, workers int) ([][]float64, 
 	}
 	out := make([][]float64, len(programs))
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
+		next    atomic.Int64
+		errIdx  atomic.Int64 // lowest failing program index so far
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+		byIndex = make(map[int]error)
 	)
-	fail := func(err error) {
-		errOnce.Do(func() { firstErr = err })
-		failed.Store(true)
+	errIdx.Store(int64(len(programs))) // sentinel: nothing failed
+	// fail records a failure at program index i (or -1 for a batch-level
+	// setup failure, which outranks every program).
+	fail := func(i int, err error) {
+		mu.Lock()
+		if _, dup := byIndex[i]; !dup {
+			byIndex[i] = err
+		}
+		mu.Unlock()
+		for {
+			cur := errIdx.Load()
+			if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -149,26 +209,32 @@ func (s *Session) SimulateBatch(programs [][]uint32, workers int) ([][]float64, 
 			defer wg.Done()
 			ws, err := NewSession(s.model, s.cfg)
 			if err != nil {
-				fail(err)
+				fail(-1, err)
 				return
 			}
-			for !failed.Load() {
+			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(programs) {
+				// Work beyond the lowest known failure is moot — the batch
+				// errors anyway — but everything before it must still run so
+				// an even earlier failure can surface deterministically.
+				if i >= len(programs) || int64(i) > errIdx.Load() {
 					return
 				}
-				sig, err := ws.SimulateProgram(programs[i])
+				sig, err := ws.SimulateProgramContext(ctx, programs[i])
 				if err != nil {
-					fail(fmt.Errorf("core: batch program %d: %w", i, err))
-					return
+					fail(i, fmt.Errorf("core: batch program %d: %w", i, err))
+				} else {
+					out[i] = sig
 				}
-				out[i] = sig
 			}
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if idx := int(errIdx.Load()); idx < len(programs) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, byIndex[idx]
 	}
 	return out, nil
 }

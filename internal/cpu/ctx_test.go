@@ -1,0 +1,125 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// spinProgram never halts: a one-instruction jump-to-self loop that runs
+// until MaxCycles or cancellation stops it.
+func spinProgram() []uint32 {
+	return []uint32{0x0000006F} // jal x0, 0
+}
+
+// TestRunToContextBackgroundMatchesRunTo pins that the context plumbing
+// is invisible for an uncancellable context: the streamed cycles are
+// identical to the plain RunTo path.
+func TestRunToContextBackgroundMatchesRunTo(t *testing.T) {
+	words := streamProgram(t)
+	var want Trace
+	if err := MustNew(DefaultConfig()).RunProgramTo(words, AppendTo(&want)); err != nil {
+		t.Fatal(err)
+	}
+	var got Trace
+	c := MustNew(DefaultConfig())
+	c.Reset()
+	c.LoadProgram(c.cfg.ResetVector, words)
+	if err := c.RunToContext(context.Background(), AppendTo(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("context run streamed %d cycles, plain run %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d differs between context and plain runs", i)
+		}
+	}
+}
+
+// TestRunToContextCancellation pins the cancellation contract: a run
+// whose context is cancelled stops within one CtxCheckInterval of the
+// cancellation point and reports context.Canceled.
+func TestRunToContextCancellation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 30 // the cancel must beat this bound by far
+	c := MustNew(cfg)
+	c.Reset()
+	c.LoadProgram(cfg.ResetVector, spinProgram())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const cancelAt = 5*CtxCheckInterval + 17
+	sink := CycleSinkFunc(func(cy *Cycle) error {
+		if cy.N == cancelAt {
+			cancel()
+		}
+		return nil
+	})
+	err := c.RunToContext(ctx, sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	if got := c.CycleCount(); got > cancelAt+CtxCheckInterval {
+		t.Errorf("run continued to cycle %d after cancellation at %d; want stop within %d cycles",
+			got, cancelAt, CtxCheckInterval)
+	}
+}
+
+// TestRunToContextDeadline pins that an expired deadline aborts the run
+// with context.DeadlineExceeded.
+func TestRunToContextDeadline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 1 << 30
+	c := MustNew(cfg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := c.RunProgramToContext(ctx, spinProgram(), CycleSinkFunc(func(*Cycle) error { return nil }))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunToContextPreCancelled pins that an already-cancelled context
+// stops the run before any cycle is simulated.
+func TestRunToContextPreCancelled(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := c.RunProgramToContext(ctx, streamProgram(t), CycleSinkFunc(func(*Cycle) error { return nil }))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+	if got := c.CycleCount(); got != 0 {
+		t.Errorf("pre-cancelled run simulated %d cycles, want 0", got)
+	}
+}
+
+// TestRunProgramToContextAllocs pins that the context plumbing did not
+// change the zero-allocation property of the streaming run loop, for
+// both the background fast path and a real cancellable context.
+func TestRunProgramToContextAllocs(t *testing.T) {
+	words := streamProgram(t)
+	c := MustNew(DefaultConfig())
+	sink := CycleSinkFunc(func(*Cycle) error { return nil })
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.RunProgramToContext(ctx, words, sink); err != nil { // warm pages + Done channel
+		t.Fatal(err)
+	}
+	for name, run := range map[string]func() error{
+		"background":  func() error { return c.RunProgramTo(words, sink) },
+		"cancellable": func() error { return c.RunProgramToContext(ctx, words, sink) },
+	} {
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s context run allocates %.1f times per run, want 0", name, allocs)
+		}
+	}
+}

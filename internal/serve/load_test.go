@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSaturatingLoad is the acceptance-criteria load test: 64 concurrent
+// clients hammer a worker pool of 4 with a small queue. Every response
+// must be a 200 or a deliberate 429 shed — never a 5xx — and after the
+// server drains, no goroutine may be left behind.
+//
+// Run it under -race (the CI race job does) to race-check the scheduler,
+// the metrics and the per-worker sessions at once.
+func TestSaturatingLoad(t *testing.T) {
+	baseline := stableGoroutineCount()
+
+	cfg := Config{Workers: 4, QueueDepth: 8}
+	s, err := New(serveTestModel(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	const (
+		clients        = 64
+		reqsPerClient  = 8
+		expectAccepted = 1 // at least this many total 200s
+	)
+	programs := []simulateRequest{
+		{Asm: loopAsm},
+		{Words: []uint32{0x00100093, 0x00100073}}, // addi ra, zero, 1; ebreak
+		{Asm: loopAsm, IncludeStages: true, OmitSignal: true},
+	}
+	var (
+		mu     sync.Mutex
+		counts = map[int]int{}
+	)
+	var wg sync.WaitGroup
+	client := ts.Client()
+	client.Timeout = 30 * time.Second
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < reqsPerClient; i++ {
+				body, _ := json.Marshal(programs[(c+i)%len(programs)])
+				resp, err := client.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				counts[resp.StatusCode]++
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	summary := fmt.Sprintf("%v", counts)
+	ok200, shed429 := counts[http.StatusOK], counts[http.StatusTooManyRequests]
+	for code, n := range counts {
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("saturating load produced %d responses with status %d; want only 200/429", n, code)
+		}
+	}
+	mu.Unlock()
+	t.Logf("load summary: %s", summary)
+	if ok200 < expectAccepted {
+		t.Errorf("load test saw %d 200s, want >= %d", ok200, expectAccepted)
+	}
+	if ok200+shed429 != clients*reqsPerClient {
+		t.Errorf("accounted %d responses, want %d", ok200+shed429, clients*reqsPerClient)
+	}
+
+	// Shut everything down and verify no goroutine leaked: the worker
+	// pool, the queue and every per-request goroutine must be gone.
+	ts.Close()
+	s.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	var after int
+	for time.Now().Before(deadline) {
+		after = stableGoroutineCount()
+		if after <= baseline+2 { // allow runtime/testing background noise
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Errorf("goroutines leaked: %d before load, %d after drain\n%s", baseline, after, buf[:n])
+}
+
+// stableGoroutineCount samples the goroutine count after a GC so
+// finished goroutines are reaped.
+func stableGoroutineCount() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}

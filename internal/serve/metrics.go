@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyRingSize is the number of recent request latencies the
+// percentile window holds. A power of two keeps the ring index a mask.
+const latencyRingSize = 1024
+
+// latencyRing is a fixed-size ring of recent request latencies. Writers
+// are the scheduler's workers (one observation per completed job);
+// readers are /varz scrapes, which copy the window out under the lock
+// and sort the copy, so a scrape never blocks the hot path for more
+// than the copy.
+type latencyRing struct {
+	mu    sync.Mutex
+	buf   [latencyRingSize]float64 // milliseconds
+	count uint64                   // total observations ever
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.buf[r.count&(latencyRingSize-1)] = ms
+	r.count++
+	r.mu.Unlock()
+}
+
+// summary returns the ring's percentile snapshot; the map shape makes it
+// directly consumable by expvar.Func.
+func (r *latencyRing) summary() map[string]float64 {
+	r.mu.Lock()
+	n := int(r.count)
+	if n > latencyRingSize {
+		n = latencyRingSize
+	}
+	window := make([]float64, n)
+	copy(window, r.buf[:n])
+	count := r.count
+	r.mu.Unlock()
+
+	sort.Float64s(window)
+	pick := func(p float64) float64 {
+		if len(window) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(window)-1))
+		return window[i]
+	}
+	return map[string]float64{
+		"count":  float64(count),
+		"p50_ms": pick(0.50),
+		"p90_ms": pick(0.90),
+		"p99_ms": pick(0.99),
+		"max_ms": pick(1.0),
+	}
+}
+
+// metrics is the server's observable state, published as a standalone
+// expvar.Map (not registered in the process-global expvar namespace, so
+// tests can build many servers without Publish panicking on duplicate
+// names; cmd/emsim-serve additionally registers it globally once).
+type metrics struct {
+	queueDepth expvar.Int // jobs accepted but not yet picked up
+	inFlight   expvar.Int // jobs currently executing on a worker
+	requests   expvar.Int // requests accepted into the queue
+	rejected   expvar.Int // requests shed with 429 (queue full)
+	cancelled  expvar.Int // jobs that ended with a cancelled context
+	cycles     expvar.Int // total simulated clock cycles
+	latency    latencyRing
+
+	vars expvar.Map
+}
+
+func newMetrics() *metrics {
+	m := &metrics{}
+	m.vars.Init()
+	m.vars.Set("queue_depth", &m.queueDepth)
+	m.vars.Set("in_flight", &m.inFlight)
+	m.vars.Set("requests_accepted", &m.requests)
+	m.vars.Set("requests_rejected", &m.rejected)
+	m.vars.Set("requests_cancelled", &m.cancelled)
+	m.vars.Set("cycles_simulated", &m.cycles)
+	m.vars.Set("latency", expvar.Func(func() any { return m.latency.summary() }))
+	return m
+}
+
+// Vars exposes the metrics map so cmd/emsim-serve can publish it in the
+// process-global expvar namespace.
+func (m *metrics) Vars() *expvar.Map { return &m.vars }

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"emsim/internal/core"
+	"emsim/internal/cpu"
+)
+
+// Submission errors. Handlers map errQueueFull to 429 + Retry-After and
+// errDraining to 503.
+var (
+	errQueueFull = errors.New("serve: queue full")
+	errDraining  = errors.New("serve: server draining")
+)
+
+// job is one unit of simulation work. The handler goroutine builds it,
+// submits it and blocks on done; a worker goroutine executes run with a
+// pooled session and closes done. run's closure owns the response state,
+// so the handler must not read it before done is closed.
+type job struct {
+	ctx  context.Context
+	run  func(ctx context.Context, sess *core.Session) (cycles int, err error)
+	done chan struct{}
+	err  error
+}
+
+// scheduler is the fixed-size worker pool behind the HTTP handlers: a
+// bounded queue of jobs drained by one goroutine per pooled Session.
+// Backpressure is the queue bound — Submit never blocks, it either
+// enqueues or reports the queue full so the handler can shed the
+// request. Cancellation relies on the context plumbing in cpu.RunTo's
+// cycle loop: a worker running a cancelled job gets its session back
+// within cpu.CtxCheckInterval cycles.
+type scheduler struct {
+	queue chan *job
+	met   *metrics
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newScheduler builds the pool: workers sessions are created eagerly so
+// a model/config error surfaces at startup, not on the first request.
+func newScheduler(m *core.Model, cfg cpu.Config, workers, queueDepth int, met *metrics) (*scheduler, error) {
+	s := &scheduler{queue: make(chan *job, queueDepth), met: met}
+	sessions := make([]*core.Session, workers)
+	for i := range sessions {
+		sess, err := core.NewSession(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = sess
+	}
+	s.wg.Add(workers)
+	for _, sess := range sessions {
+		go s.worker(sess)
+	}
+	return s, nil
+}
+
+// submit enqueues a job without blocking. The returned error is nil
+// (queued), errQueueFull (shed it) or errDraining (shutting down).
+func (s *scheduler) submit(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		s.met.requests.Add(1)
+		s.met.queueDepth.Add(1)
+		return nil
+	default:
+		s.met.rejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// worker owns one Session for the scheduler's lifetime and executes jobs
+// against it. A job whose context died while queued completes
+// immediately without touching the session.
+func (s *scheduler) worker(sess *core.Session) {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Add(-1)
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			s.met.cancelled.Add(1)
+			close(j.done)
+			continue
+		}
+		s.met.inFlight.Add(1)
+		start := time.Now()
+		cycles, err := j.run(j.ctx, sess)
+		s.met.latency.observe(time.Since(start))
+		s.met.cycles.Add(int64(cycles))
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.met.cancelled.Add(1)
+		}
+		s.met.inFlight.Add(-1)
+		j.err = err
+		close(j.done)
+	}
+}
+
+// drain stops accepting jobs, lets the queue run dry and waits for every
+// in-flight job to finish. Safe to call more than once.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	wasClosed := s.closed
+	s.closed = true
+	if !wasClosed {
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// draining reports whether drain has begun (healthz turns 503).
+func (s *scheduler) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}

@@ -1,0 +1,185 @@
+// Package serve is the long-lived simulation service behind
+// cmd/emsim-serve: a stdlib-only HTTP JSON layer over the streaming
+// core.Session pipeline. One trained model is loaded once; requests are
+// executed by a fixed pool of workers, each owning one reusable Session,
+// fed from a bounded queue. When the queue is full the service sheds
+// load with 429 + Retry-After instead of queueing unboundedly, and
+// per-request contexts (client disconnect, per-request deadline, server
+// drain) cancel in-flight simulations within cpu.CtxCheckInterval
+// cycles via the context check in the core's cycle loop.
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"emsim/internal/core"
+	"emsim/internal/cpu"
+)
+
+// Config tunes the service. The zero value serves with sensible
+// defaults; see each field.
+type Config struct {
+	// CPU is the core configuration the pooled sessions simulate with.
+	// The zero value selects cpu.DefaultConfig.
+	CPU cpu.Config
+	// Workers is the session pool size (and so the simulation
+	// concurrency). Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the accept queue; a request arriving with the
+	// queue full is shed with 429. Default 64.
+	QueueDepth int
+	// MaxProgramWords caps the program size a request may submit;
+	// larger programs are rejected with 413. Default 65536.
+	MaxProgramWords int
+	// MaxRequestBytes caps the request body size. Default 8 MiB.
+	MaxRequestBytes int64
+	// DefaultTimeout bounds a request that names no timeout_ms;
+	// MaxTimeout clamps one that does. Defaults 30s / 120s.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429 responses. Default 1s.
+	RetryAfter time.Duration
+	// MaxTVLATraces caps traces_per_group of a /v1/tvla request.
+	// Default 256.
+	MaxTVLATraces int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CPU == (cpu.Config{}) {
+		c.CPU = cpu.DefaultConfig()
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxProgramWords <= 0 {
+		c.MaxProgramWords = 65536
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxTVLATraces <= 0 {
+		c.MaxTVLATraces = 256
+	}
+	return c
+}
+
+// Server is the HTTP simulation service. Build one with New, mount
+// Handler on an http.Server, and Close it (after http.Server.Shutdown)
+// to drain the worker pool.
+type Server struct {
+	model *core.Model
+	cfg   Config
+	sched *scheduler
+	met   *metrics
+	mux   *http.ServeMux
+}
+
+// New builds the service: the session pool spins up eagerly so an
+// invalid model/config fails here rather than on the first request.
+func New(m *core.Model, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	met := newMetrics()
+	sched, err := newScheduler(m, cfg.CPU, cfg.Workers, cfg.QueueDepth, met)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{model: m, cfg: cfg, sched: sched, met: met}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("POST /v1/tvla", s.handleTVLA)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	return s, nil
+}
+
+// Handler returns the service's route tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Vars exposes the server's metrics map for global expvar registration.
+func (s *Server) Vars() *expvar.Map { return s.met.Vars() }
+
+// Close drains the worker pool: no new jobs are accepted and every
+// queued or in-flight job completes (cancelled jobs complete within one
+// context-check interval). Call it after http.Server.Shutdown so late
+// handlers see errDraining instead of a send on a closed queue.
+func (s *Server) Close() { s.sched.drain() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.sched.draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.met.vars.String())
+}
+
+// writeJSON serializes one response value; encoding errors at this point
+// can only be delivered as a broken connection, so they are ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// shed maps a submit failure to its HTTP response.
+func (s *Server) shed(w http.ResponseWriter, err error) {
+	switch err {
+	case errQueueFull:
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "simulation queue full; retry after %ds", secs)
+	case errDraining:
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+	default:
+		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+	}
+}
+
+// requestTimeout resolves a request's effective deadline from its
+// optional timeout_ms field, clamped to the configured maximum.
+func (s *Server) requestTimeout(timeoutMS int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}

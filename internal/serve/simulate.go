@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+
+	"emsim/internal/asm"
+	"emsim/internal/core"
+	"emsim/internal/cpu"
+)
+
+// simulateRequest is the /v1/simulate body. Exactly one of asm and words
+// must be set.
+type simulateRequest struct {
+	// Asm is RV32IM assembly text (the cmd/emsim dialect); Words is a
+	// pre-assembled image loaded at the reset vector.
+	Asm   string   `json:"asm,omitempty"`
+	Words []uint32 `json:"words,omitempty"`
+	// TimeoutMS bounds the simulation (clamped to the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// OmitSignal drops the (large) signal array from the response for
+	// callers that only want stats or the stage breakdown.
+	OmitSignal bool `json:"omit_signal,omitempty"`
+	// IncludeStages adds the per-stage amplitude breakdown.
+	IncludeStages bool `json:"include_stages,omitempty"`
+}
+
+// stageAmplitude is one pipeline stage's share of the simulated signal.
+type stageAmplitude struct {
+	Stage string `json:"stage"`
+	// MeanAbs is the stage's mean absolute per-cycle contribution
+	// |M_s·u_s|; Share its fraction of the summed contributions.
+	MeanAbs float64 `json:"mean_abs"`
+	Share   float64 `json:"share"`
+}
+
+// simulateStats mirrors cpu.Stats in JSON casing.
+type simulateStats struct {
+	Retired     int     `json:"retired"`
+	IPC         float64 `json:"ipc"`
+	Bubbles     int     `json:"bubbles"`
+	StallCycles int     `json:"stall_cycles"`
+	Flushes     int     `json:"flushes"`
+	CacheHits   uint64  `json:"cache_hits"`
+	CacheMisses uint64  `json:"cache_misses"`
+	Mispredicts uint64  `json:"mispredicts"`
+}
+
+type simulateResponse struct {
+	Cycles          int              `json:"cycles"`
+	SamplesPerCycle int              `json:"samples_per_cycle"`
+	Stats           simulateStats    `json:"stats"`
+	Signal          []float64        `json:"signal,omitempty"`
+	Stages          []stageAmplitude `json:"stages,omitempty"`
+}
+
+// stageAccumulator is the Session tee that collects the per-stage
+// breakdown while the signal streams through the amplitude model — no
+// trace is materialized for it.
+type stageAccumulator struct {
+	m      *core.Model
+	sumAbs [cpu.NumStages]float64
+	cycles int
+}
+
+//emsim:noalloc
+func (a *stageAccumulator) Cycle(c *cpu.Cycle) error {
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		v := a.m.StageContribution(s, &c.Stages[s])
+		if v < 0 {
+			v = -v
+		}
+		a.sumAbs[s] += v
+	}
+	a.cycles++
+	return nil
+}
+
+func (a *stageAccumulator) breakdown() []stageAmplitude {
+	total := 0.0
+	for _, v := range a.sumAbs {
+		total += v
+	}
+	out := make([]stageAmplitude, cpu.NumStages)
+	for s := cpu.Stage(0); s < cpu.NumStages; s++ {
+		st := stageAmplitude{Stage: s.String()}
+		if a.cycles > 0 {
+			st.MeanAbs = a.sumAbs[s] / float64(a.cycles)
+		}
+		if total > 0 {
+			st.Share = a.sumAbs[s] / total
+		}
+		out[s] = st
+	}
+	return out
+}
+
+// decodeRequest reads one JSON body with the configured size cap.
+// Returns (413, err) when the cap was hit, (400, err) on malformed JSON.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, err
+		}
+		return http.StatusBadRequest, err
+	}
+	// Trailing garbage after the JSON value is malformed too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return http.StatusBadRequest, errors.New("trailing data after JSON body")
+	}
+	return 0, nil
+}
+
+// resolveProgram validates the request's program and returns its words.
+func (s *Server) resolveProgram(req *simulateRequest) ([]uint32, int, error) {
+	switch {
+	case req.Asm != "" && req.Words != nil:
+		return nil, http.StatusBadRequest, errors.New("asm and words are mutually exclusive")
+	case req.Asm == "" && len(req.Words) == 0:
+		return nil, http.StatusBadRequest, errors.New("one of asm or words is required")
+	case req.Asm != "":
+		if len(req.Asm) > 4*s.cfg.MaxProgramWords {
+			return nil, http.StatusRequestEntityTooLarge,
+				errors.New("assembly source exceeds the program size limit")
+		}
+		p, err := asm.Assemble(req.Asm)
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		if p.Origin != s.cfg.CPU.ResetVector {
+			return nil, http.StatusBadRequest,
+				errors.New("program origin must match the core's reset vector")
+		}
+		if len(p.Words) > s.cfg.MaxProgramWords {
+			return nil, http.StatusRequestEntityTooLarge, errors.New("program too large")
+		}
+		return p.Words, 0, nil
+	default:
+		if len(req.Words) > s.cfg.MaxProgramWords {
+			return nil, http.StatusRequestEntityTooLarge, errors.New("program too large")
+		}
+		return req.Words, 0, nil
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if status, err := s.decodeRequest(w, r, &req); status != 0 {
+		writeError(w, status, "decode: %v", err)
+		return
+	}
+	words, status, err := s.resolveProgram(&req)
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+
+	resp := &simulateResponse{SamplesPerCycle: s.model.SamplesPerCycle}
+	j := &job{
+		ctx:  ctx,
+		done: make(chan struct{}),
+		run: func(ctx context.Context, sess *core.Session) (int, error) {
+			var acc *stageAccumulator
+			if req.IncludeStages {
+				acc = &stageAccumulator{m: sess.Model()}
+				sess.SetTee(acc)
+				defer sess.SetTee(nil)
+			}
+			sig, err := sess.SimulateProgramContext(ctx, words)
+			if err != nil {
+				return sess.Cycles(), err
+			}
+			resp.Cycles = sess.Cycles()
+			st := sess.Stats()
+			resp.Stats = simulateStats{
+				Retired:     st.Retired,
+				IPC:         st.IPC(),
+				Bubbles:     st.Bubbles,
+				StallCycles: st.StallCycles,
+				Flushes:     st.Flushes,
+				CacheHits:   st.CacheHits,
+				CacheMisses: st.CacheMisses,
+				Mispredicts: st.Mispredicts,
+			}
+			if !req.OmitSignal {
+				resp.Signal = sanitizeSignal(sig)
+			}
+			if acc != nil {
+				resp.Stages = acc.breakdown()
+			}
+			return resp.Cycles, nil
+		},
+	}
+	if err := s.sched.submit(j); err != nil {
+		s.shed(w, err)
+		return
+	}
+	<-j.done
+	if j.err != nil {
+		s.writeSimError(w, ctx, j.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSimError maps a simulation failure to its status: deadline
+// expiry is the request's fault (504 would claim an upstream; 408 fits
+// a client-supplied timeout), a client disconnect gets a best-effort
+// 499-style close, and everything else — a program that never halts, an
+// undecodable word — is an unprocessable program, not a server error.
+func (s *Server) writeSimError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusRequestTimeout, "simulation exceeded its deadline")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the response is written for completeness.
+		writeError(w, http.StatusRequestTimeout, "request cancelled")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, "simulate: %v", err)
+	}
+}
+
+// sanitizeSignal replaces non-finite samples so the response stays valid
+// JSON (encoding/json rejects NaN/Inf). A trained model never produces
+// them; an adversarially constructed one might.
+func sanitizeSignal(sig []float64) []float64 {
+	for i, v := range sig {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			sig[i] = 0
+		}
+	}
+	return sig
+}

@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStepwiseEdgeCases pins StepwiseRegression's behavior on the
+// degenerate inputs the training pipeline can produce: collinear
+// transition-bit columns (many bits toggle together), all-zero columns
+// (bits that never switch in the training set), more candidates than
+// samples, and F statistics that sit exactly on the entry threshold.
+// Each case uses a hand-computable design built from the mutually
+// orthogonal, zero-mean vectors
+//
+//	c0 = (1, 1, -1, -1)   c1 = (1, -1, 1, -1)   c2 = (1, -1, -1, 1)
+//
+// so the RSS reductions, F statistics, selected sets and Dropped counts
+// are exact small integers, not properties of a random draw.
+func TestStepwiseEdgeCases(t *testing.T) {
+	c0 := []float64{1, 1, -1, -1}
+	c1 := []float64{1, -1, 1, -1}
+	c2 := []float64{1, -1, -1, 1}
+	zero := []float64{0, 0, 0, 0}
+
+	// design assembles rows from candidate columns; target mixes the
+	// basis vectors with the given weights.
+	design := func(cols ...[]float64) [][]float64 {
+		x := make([][]float64, 4)
+		for i := range x {
+			row := make([]float64, len(cols))
+			for j, c := range cols {
+				row[j] = c[i]
+			}
+			x[i] = row
+		}
+		return x
+	}
+	target := func(w0, w1, w2 float64) []float64 {
+		y := make([]float64, 4)
+		for i := range y {
+			y[i] = w0*c0[i] + w1*c1[i] + w2*c2[i]
+		}
+		return y
+	}
+
+	cases := []struct {
+		name         string
+		x            [][]float64
+		y            []float64
+		opts         StepwiseOptions
+		wantSelected []int
+		wantDropped  int
+	}{
+		{
+			// Column 1 duplicates column 0. After column 0 enters (F≈200
+			// at df2=2), the duplicate orthogonalizes to the zero vector
+			// and must be skipped by the collinearity test; column 2 then
+			// completes a perfect fit.
+			name:         "collinear duplicate skipped",
+			x:            design(c0, c0, c1),
+			y:            target(100, 10, 0),
+			wantSelected: []int{0, 2},
+			wantDropped:  1,
+		},
+		{
+			// An all-zero predictor has colNorm2 = 0; the tolerance test
+			// nv2 <= 1e-12·colNorm2 reduces to 0 <= 0 and skips it, so
+			// only the real column can enter.
+			name:         "all-zero predictor never selected",
+			x:            design(zero, c0),
+			y:            target(5, 0, 0),
+			wantSelected: []int{1},
+			wantDropped:  1,
+		},
+		{
+			// Every candidate is zero: selection finds nothing and the
+			// result degrades to the intercept-only model.
+			name:         "all candidates zero: intercept-only",
+			x:            design(zero, zero),
+			y:            []float64{1, 2, 3, 4},
+			wantSelected: []int{},
+			wantDropped:  2,
+		},
+		{
+			// p = 6 candidates for n = 4 samples: the selector may use at
+			// most n-2 = 2 columns (one residual degree of freedom), and
+			// the duplicate/zero columns must not confuse it. Both real
+			// signals clear their critical values (F≈22 at df2=2, then
+			// F=900 at df2=1).
+			name:         "p greater than n clamps to n-2",
+			x:            design(c0, c1, c2, c0, zero, c1),
+			y:            target(100, 30, 1),
+			wantSelected: []int{0, 1},
+			wantDropped:  4,
+		},
+		{
+			// Threshold boundary, permissive side. The second candidate's
+			// F statistic is exactly 1 (Δ=4, denom=4 — all integers, so no
+			// rounding). FEnter = 0.9/161.4 puts the df2=1 critical value
+			// at 0.9: F ≥ crit, the column enters.
+			name:         "F at threshold enters when crit is below",
+			x:            design(c0, c1),
+			y:            target(100, 1, 1), // the c2 part is irreducible noise
+			opts:         StepwiseOptions{FEnter: 0.9 / 161.4},
+			wantSelected: []int{0, 1},
+			wantDropped:  0,
+		},
+		{
+			// Same data, strict side: crit = 1.1 > F = 1 rejects the
+			// second column. The flip between this case and the previous
+			// one pins the comparison direction at the boundary.
+			name:         "F at threshold stops when crit is above",
+			x:            design(c0, c1),
+			y:            target(100, 1, 1),
+			opts:         StepwiseOptions{FEnter: 1.1 / 161.4},
+			wantSelected: []int{0},
+			wantDropped:  1,
+		},
+		{
+			// Default threshold (161.4 at df2=1) likewise rejects F=1.
+			name:         "F at threshold stops at default crit",
+			x:            design(c0, c1),
+			y:            target(100, 1, 1),
+			wantSelected: []int{0},
+			wantDropped:  1,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := StepwiseRegression(tc.x, tc.y, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalInts(res.Selected, tc.wantSelected) {
+				t.Errorf("Selected = %v, want %v", res.Selected, tc.wantSelected)
+			}
+			if res.Dropped != tc.wantDropped {
+				t.Errorf("Dropped = %d, want %d", res.Dropped, tc.wantDropped)
+			}
+			if res.Dropped != len(tc.x[0])-len(res.Selected) {
+				t.Errorf("Dropped = %d inconsistent with %d candidates and %d selected",
+					res.Dropped, len(tc.x[0]), len(res.Selected))
+			}
+			if res.Model == nil {
+				t.Fatal("nil Model in result")
+			}
+			if len(res.Model.Coef) != len(res.Selected) {
+				t.Errorf("model has %d coefficients for %d selected columns",
+					len(res.Model.Coef), len(res.Selected))
+			}
+		})
+	}
+
+	t.Run("intercept-only model is the mean", func(t *testing.T) {
+		y := []float64{1, 2, 3, 4}
+		res, err := StepwiseRegression(design(zero, zero), y, StepwiseOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Model.Intercept; math.Abs(got-2.5) > 1e-12 {
+			t.Errorf("intercept = %g, want 2.5", got)
+		}
+		if got := res.PredictFull([]float64{7, 9}); math.Abs(got-2.5) > 1e-12 {
+			t.Errorf("PredictFull = %g, want the mean 2.5", got)
+		}
+		if got, want := res.Model.RSS, interceptOnlyRSS(y); math.Abs(got-want) > 1e-12 {
+			t.Errorf("RSS = %g, want %g", got, want)
+		}
+	})
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

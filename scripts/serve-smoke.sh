@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# serve-smoke.sh boots a real emsim-serve binary, drives it over HTTP and
+# verifies graceful shutdown: a SIGTERM arriving while a request is in
+# flight must drain that request (it completes 200) and exit 0. The CI
+# serve job runs this after the in-process integration tests, so the
+# binary's signal handling and the HTTP server wiring get covered too.
+set -euo pipefail
+
+ADDR="127.0.0.1:8097"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/emsim-serve"
+LOG="$(mktemp)"
+
+cleanup() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  cat "$LOG" >&2 || true
+}
+
+echo "== build"
+go build -o "$BIN" ./cmd/emsim-serve
+
+echo "== boot (trains a quick synthetic model)"
+"$BIN" -addr "$ADDR" -workers 2 -queue 8 >"$LOG" 2>&1 &
+SERVER_PID=$!
+trap cleanup EXIT
+
+for i in $(seq 1 120); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "server died during boot" >&2; exit 1
+  fi
+  sleep 1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== simulate (asm)"
+BODY='{"asm":"    li t0, 10\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ebreak\n","include_stages":true}'
+RESP=$(curl -fsS -X POST -d "$BODY" "$BASE/v1/simulate")
+echo "$RESP" | grep -q '"cycles":' || { echo "no cycles in response: $RESP" >&2; exit 1; }
+echo "$RESP" | grep -q '"stages":' || { echo "no stages in response: $RESP" >&2; exit 1; }
+
+echo "== simulate (words) + varz"
+curl -fsS -X POST -d '{"words":[1048723,1048691],"omit_signal":true}' "$BASE/v1/simulate" >/dev/null || true
+curl -fsS "$BASE/varz" | grep -q '"cycles_simulated"' || { echo "varz missing metrics" >&2; exit 1; }
+
+echo "== validation statuses"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"asm": "nop"' "$BASE/v1/simulate")
+[ "$CODE" = "400" ] || { echo "malformed JSON returned $CODE, want 400" >&2; exit 1; }
+
+echo "== graceful shutdown with an in-flight request"
+# A larger program keeps the worker busy while SIGTERM lands.
+SLOW='{"asm":"    li t0, 200000\nloop:\n    addi t0, t0, -1\n    bnez t0, loop\n    ebreak\n","omit_signal":true}'
+SLOW_STATUS=$(mktemp)
+( curl -s -o /dev/null -w '%{http_code}' -X POST -d "$SLOW" "$BASE/v1/simulate" >"$SLOW_STATUS" ) &
+CURL_PID=$!
+sleep 0.2
+kill -TERM "$SERVER_PID"
+wait "$CURL_PID"
+STATUS=$(cat "$SLOW_STATUS")
+if [ "$STATUS" != "200" ]; then
+  echo "in-flight request during SIGTERM returned $STATUS, want 200" >&2; exit 1
+fi
+if ! wait "$SERVER_PID"; then
+  echo "server exited non-zero after SIGTERM" >&2; exit 1
+fi
+trap - EXIT
+grep -q "drained" "$LOG" || { echo "server log missing drain marker" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "== smoke OK"

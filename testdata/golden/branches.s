@@ -1,0 +1,15 @@
+# Golden fixture: data-dependent branch pattern.
+# A 3-bit LFSR drives an unpredictable branch so both flush and
+# fall-through paths of the pipeline appear in the trace.
+    li t0, 0b101           # LFSR state (never zero)
+    li t1, 48              # iterations
+step:
+    andi t2, t0, 1         # output bit
+    srli t0, t0, 1
+    beqz t2, skip
+    xori t0, t0, 0b110     # taps for x^3 + x + 1
+    addi a0, a0, 1         # count the ones
+skip:
+    addi t1, t1, -1
+    bnez t1, step
+    ebreak

@@ -1,0 +1,8 @@
+# Golden fixture: tight countdown loop.
+# Exercises the branch predictor (taken-dominant backward branch) and
+# the forwarding path between the addi and the bnez.
+    li t0, 64
+loop:
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak

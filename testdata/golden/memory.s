@@ -1,0 +1,24 @@
+# Golden fixture: store/load sweep over two cache lines.
+# Exercises the memory stage: compulsory misses on the first touch of
+# each line, hits on the read-back pass, plus load-use stalls.
+    li a0, 0x1000          # buffer base
+    li t0, 16              # words to write
+    mv t1, a0
+    li t2, 0x5a5a
+fill:
+    sw t2, 0(t1)
+    addi t1, t1, 4
+    addi t2, t2, 3
+    addi t0, t0, -1
+    bnez t0, fill
+
+    li t0, 16              # read-back and accumulate
+    mv t1, a0
+    li a1, 0
+sum:
+    lw t3, 0(t1)
+    add a1, a1, t3
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, sum
+    ebreak

@@ -1,0 +1,28 @@
+# Golden fixture: mixed workload touching every stage class.
+# ALU ops, shifts, a multiply, memory traffic and a function call via
+# jal/ret, so the golden signal covers the full per-stage model.
+    li sp, 0x2000
+    li a0, 9
+    li a1, 3
+    li t0, 8
+outer:
+    call work
+    addi a0, a0, 2
+    addi t0, t0, -1
+    bnez t0, outer
+    ebreak
+
+work:
+    addi sp, sp, -8
+    sw ra, 4(sp)
+    sw a0, 0(sp)
+    mul t1, a0, a1
+    slli t2, a0, 2
+    xor t1, t1, t2
+    sltu t3, t2, t1
+    add a2, a2, t1
+    add a2, a2, t3
+    lw a0, 0(sp)
+    lw ra, 4(sp)
+    addi sp, sp, 8
+    ret

@@ -1,0 +1,16 @@
+# Golden fixture: multi-cycle multiply/divide unit.
+# Alternates mul and div so the iterative unit's stall cycles and their
+# distinctive amplitude signature land in the signal.
+    li t0, 12
+    li t1, 7
+    li t2, 20              # iterations
+mix:
+    mul t3, t0, t1
+    addi t0, t0, 5
+    div t4, t3, t1
+    rem t5, t3, t0
+    add a0, a0, t4
+    add a0, a0, t5
+    addi t2, t2, -1
+    bnez t2, mix
+    ebreak
