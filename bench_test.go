@@ -41,13 +41,26 @@ func benchEnvironment(b testing.TB) *experiments.Env {
 }
 
 // BenchmarkTraining measures the full model-building campaign of §III
-// (kernel fit, baseline amplitudes, stepwise activity regression, MISO).
+// (kernel fit, baseline amplitudes, stepwise activity regression, MISO)
+// at several measurement fan-out widths. The /1 rung is the sequential
+// baseline; the parallel rungs fit byte-identical models (asserted by
+// TestTrainerWorkerCountEquivalence), so the ratio between rungs is pure
+// pipeline speedup.
 func BenchmarkTraining(b *testing.B) {
-	dev := NewDevice(DefaultDeviceOptions())
-	for i := 0; i < b.N; i++ {
-		if _, err := Train(dev, TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400}); err != nil {
-			b.Fatal(err)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=max"
 		}
+		b.Run(name, func(b *testing.B) {
+			dev := NewDevice(DefaultDeviceOptions())
+			for i := 0; i < b.N; i++ {
+				opts := TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400, Workers: workers}
+				if _, err := Train(dev, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

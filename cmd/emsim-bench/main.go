@@ -9,10 +9,11 @@
 //
 // -experiment selects one of: fig1 fig2 fig3 fig4 fig5 fig6 fig7 table1
 // fig8 ablations manufacturing board fig9 fig10 table2 fig11 predictors
-// forwarding sampling
+// forwarding sampling budget trainperf
 // (default: all). -groups bounds the Figure 8 benchmark size (0 = all 17
 // groups, the recorded configuration). -quick shrinks the training
-// campaign for a fast smoke run.
+// campaign for a fast smoke run. -train-workers sets the measurement
+// fan-out width of every training campaign (0 = GOMAXPROCS).
 package main
 
 import (
@@ -26,10 +27,11 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig1..fig11, table1, table2, ablations, manufacturing, board, predictors, forwarding, sampling, budget, all)")
+	which := flag.String("experiment", "all", "experiment to run (fig1..fig11, table1, table2, ablations, manufacturing, board, predictors, forwarding, sampling, budget, trainperf, all)")
 	groups := flag.Int("groups", 0, "Figure 8 benchmark groups per variant (0 = all 17)")
 	quick := flag.Bool("quick", false, "smaller training campaign (faster, slightly less accurate)")
 	tvlaTraces := flag.Int("tvla-traces", 40, "TVLA traces per group")
+	trainWorkers := flag.Int("train-workers", 0, "training measurement workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	opts := experiments.DefaultEnvOptions()
@@ -37,6 +39,7 @@ func main() {
 		opts.Train = core.TrainOptions{Runs: 8, InstancesPerCluster: 20, MixedLength: 300}
 		opts.Runs = 6
 	}
+	opts.Train.Workers = *trainWorkers
 	start := time.Now()
 	fmt.Fprintln(os.Stderr, "building device and training the model...")
 	env, err := experiments.NewEnv(opts)
@@ -71,6 +74,7 @@ func main() {
 		{"forwarding", func() (fmt.Stringer, error) { return env.ForwardingStudy() }},
 		{"sampling", func() (fmt.Stringer, error) { return env.SamplingRateStudy() }},
 		{"budget", func() (fmt.Stringer, error) { return env.TrainingBudgetStudy() }},
+		{"trainperf", func() (fmt.Stringer, error) { return experiments.TrainingPipelineStudy(opts.Train) }},
 	}
 
 	ran := 0

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"emsim"
 	"emsim/internal/core"
@@ -40,6 +41,8 @@ func main() {
 	runs := flag.Int("runs", 10, "savat: measurement averaging runs")
 	modelPath := flag.String("model", "", "cache the trained model in this file")
 	seed := flag.Int64("seed", 1, "training and protocol seed")
+	progress := flag.Bool("progress", false, "report per-phase training progress on stderr")
+	trainWorkers := flag.Int("train-workers", 0, "training measurement workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *simOnly && *realOnly {
@@ -48,7 +51,7 @@ func main() {
 	doReal, doSim := !*simOnly, !*realOnly
 
 	dev := emsim.NewDevice(emsim.DefaultDeviceOptions())
-	model := trainOrLoad(dev, *modelPath, *seed, doSim)
+	model := trainOrLoad(dev, *modelPath, *seed, doSim, *trainWorkers, *progress)
 
 	switch *mode {
 	case "tvla":
@@ -62,7 +65,7 @@ func main() {
 
 // trainOrLoad returns a trained model, reusing the cache file when one is
 // given. Training is skipped entirely for -real runs that never simulate.
-func trainOrLoad(dev *emsim.Device, path string, seed int64, needed bool) *emsim.Model {
+func trainOrLoad(dev *emsim.Device, path string, seed int64, needed bool, workers int, progress bool) *emsim.Model {
 	if !needed {
 		return nil
 	}
@@ -73,7 +76,20 @@ func trainOrLoad(dev *emsim.Device, path string, seed int64, needed bool) *emsim
 		}
 	}
 	fmt.Fprintln(os.Stderr, "training EMSim against the reference device...")
-	m, err := core.Train(dev, core.TrainOptions{Seed: seed})
+	opts := core.TrainOptions{Seed: seed, Workers: workers}
+	if progress {
+		opts.Progress = func(p core.Progress) {
+			switch {
+			case p.Done == 0:
+				fmt.Fprintf(os.Stderr, "  phase %d/%d %-10s %d measurements...\n",
+					int(p.Phase)+1, core.NumPhases, p.Phase, p.Total)
+			case p.Done == p.Total:
+				fmt.Fprintf(os.Stderr, "  phase %d/%d %-10s done in %s\n",
+					int(p.Phase)+1, core.NumPhases, p.Phase, p.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+	m, err := core.Train(dev, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,10 +6,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate  {"asm": "...", ...} or {"words": [...]}
-//	POST /v1/tvla      {"key_hex": "...", "fixed_hex": "...", "traces_per_group": N}
-//	GET  /healthz      liveness (503 while draining)
-//	GET  /varz         queue depth, in-flight, cycles, latency percentiles
+//	POST   /v1/simulate    {"asm": "...", ...} or {"words": [...]}
+//	POST   /v1/tvla        {"key_hex": "...", "fixed_hex": "...", "traces_per_group": N}
+//	POST   /v1/train       {"seed": N, "runs": N, ...} -> async job, 202 + job_id
+//	GET    /v1/train/{id}  phase-level progress; the model once done
+//	DELETE /v1/train/{id}  cancel a running campaign
+//	GET    /healthz        liveness (503 while draining)
+//	GET    /varz           queue depth, in-flight, cycles, latency percentiles,
+//	                       training job counters and measurement-cache stats
 //
 // Start it with a trained model (emsim-leakage or Model.SaveFile output):
 //
@@ -49,6 +53,9 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request simulation deadline")
 		maxTO     = flag.Duration("max-timeout", 2*time.Minute, "upper clamp for client-supplied timeouts")
 		drainTO   = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight requests")
+		trainJobs = flag.Int("train-jobs", 1, "concurrent /v1/train campaigns (excess jobs queue)")
+		trainWkrs = flag.Int("train-workers", 0, "measurement fan-out per training campaign (0 = GOMAXPROCS)")
+		trainRuns = flag.Int("train-runs", 200, "largest accepted runs field of a /v1/train request")
 	)
 	flag.Parse()
 
@@ -63,6 +70,9 @@ func main() {
 		MaxProgramWords: *maxWords,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTO,
+		MaxTrainJobs:    *trainJobs,
+		TrainWorkers:    *trainWkrs,
+		MaxTrainRuns:    *trainRuns,
 	}
 	cfg.CPU = emsim.DefaultCPUConfig()
 	if *maxCycles > 0 {

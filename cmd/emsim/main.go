@@ -50,6 +50,8 @@ func main() {
 	runs := flag.Int("runs", 20, "measurement averaging runs")
 	seed := flag.Int64("seed", 1, "training seed")
 	modelPath := flag.String("model", "", "cache the trained model in this file (loaded if it exists)")
+	progress := flag.Bool("progress", false, "report per-phase training progress on stderr")
+	trainWorkers := flag.Int("train-workers", 0, "training measurement workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	src := demoProgram
@@ -82,7 +84,11 @@ func main() {
 	}
 	if model == nil {
 		fmt.Fprintln(os.Stderr, "training EMSim against the reference device...")
-		model, err = core.Train(dev, core.TrainOptions{Seed: *seed})
+		topts := core.TrainOptions{Seed: *seed, Workers: *trainWorkers}
+		if *progress {
+			topts.Progress = printProgress
+		}
+		model, err = core.Train(dev, topts)
 		if err != nil {
 			fatal(err)
 		}
@@ -133,6 +139,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(cmp.Measured), *csvPath)
+	}
+}
+
+// printProgress streams training-phase progress to stderr: one line when
+// a phase announces itself, one when its last measurement lands.
+func printProgress(p core.Progress) {
+	switch {
+	case p.Done == 0:
+		fmt.Fprintf(os.Stderr, "  phase %d/%d %-10s %d measurements...\n",
+			int(p.Phase)+1, core.NumPhases, p.Phase, p.Total)
+	case p.Done == p.Total:
+		fmt.Fprintf(os.Stderr, "  phase %d/%d %-10s done in %s\n",
+			int(p.Phase)+1, core.NumPhases, p.Phase, p.Elapsed.Round(time.Millisecond))
 	}
 }
 

@@ -128,8 +128,24 @@ type (
 	// ModelOptions holds the ablation switches of the paper's
 	// degradation studies.
 	ModelOptions = core.ModelOptions
-	// TrainOptions tunes the measurement campaign.
+	// TrainOptions tunes the measurement campaign, including the
+	// measurement fan-out width (Workers), a per-phase progress callback
+	// (Progress) and an optional measurement cache (Cache).
 	TrainOptions = core.TrainOptions
+	// Trainer is the staged training pipeline behind Train: explicit
+	// kernel-fit → baseline → activity → miso phases driven by Run(ctx),
+	// with cancellation, per-phase progress and timings, and a parallel
+	// measurement fan-out whose fitted model is byte-identical at any
+	// worker count.
+	Trainer = core.Trainer
+	// TrainPhase identifies one stage of the training pipeline.
+	TrainPhase = core.Phase
+	// TrainProgress is one progress event of a training campaign.
+	TrainProgress = core.Progress
+	// MeasurementCache stores measurement artifacts content-addressed by
+	// (device fingerprint, averaging depth, program), letting repeated
+	// trainings against the same bench skip re-measurement.
+	MeasurementCache = core.MeasurementCache
 	// Comparison scores a simulated signal against a measurement with
 	// the paper's per-cycle correlation metric.
 	Comparison = core.Comparison
@@ -192,10 +208,22 @@ func DefaultDeviceOptions() DeviceOptions { return device.DefaultOptions() }
 // NewDevice builds a synthetic device; it panics on invalid options.
 func NewDevice(opts DeviceOptions) *Device { return device.MustNew(opts) }
 
-// Train fits an EMSim model against a device with the three-phase
-// campaign of §III: kernel fit, baseline amplitudes, stepwise activity
-// regression, MISO coefficients.
+// Train fits an EMSim model against a device with the staged campaign of
+// §III: kernel fit, baseline amplitudes, stepwise activity regression,
+// MISO coefficients. It is the blocking convenience form of NewTrainer +
+// Trainer.Run; use those directly for cancellation, progress reporting
+// and phase timings.
 func Train(dev *Device, opts TrainOptions) (*Model, error) { return core.Train(dev, opts) }
+
+// NewTrainer prepares a staged training session against dev; drive it
+// with Trainer.Run(ctx).
+func NewTrainer(dev *Device, opts TrainOptions) (*Trainer, error) {
+	return core.NewTrainer(dev, opts)
+}
+
+// NewMeasurementCache returns an empty measurement cache to share across
+// trainings via TrainOptions.Cache.
+func NewMeasurementCache() *MeasurementCache { return core.NewMeasurementCache() }
 
 // FullModel returns the complete model configuration; zero out fields of
 // the result to reproduce the paper's ablations.

@@ -13,6 +13,14 @@
 //   - range over a map, whose iteration order is randomized per run; if
 //     the order truly cannot matter, suppress with a reason, otherwise
 //     iterate over sorted keys.
+//
+// Beyond the core package set, any function anywhere in the module may
+// declare //emsim:ordered in its doc comment: a claim that its result is
+// independent of goroutine scheduling and worker count (the training
+// pipeline's reduction contract). Annotated functions get the full rule
+// set regardless of package scope, plus one more rule: a select statement
+// with several communication clauses, whose ready-case choice is
+// randomized by the runtime.
 package determinism
 
 import (
@@ -48,48 +56,66 @@ func New(paths ...string) *analysis.Analyzer {
 	}
 	return &analysis.Analyzer{
 		Name: "determinism",
-		Doc:  "ban wall-clock reads, the global rand source, and map-order iteration in the simulation core",
+		Doc:  "ban wall-clock reads, the global rand source, and map-order iteration in the simulation core and in //emsim:ordered functions",
 		Run: func(pass *analysis.Pass) error {
-			if !scope[pass.Pkg.Path()] {
-				return nil
-			}
-			return run(pass)
+			return run(pass, scope[pass.Pkg.Path()])
 		},
 	}
 }
 
-func run(pass *analysis.Pass) error {
-	info := pass.TypesInfo
+// run applies the rule set: everywhere in an in-scope package, and inside
+// //emsim:ordered functions of any package. Ordered functions additionally
+// get the select rule (in-scope or not).
+func run(pass *analysis.Pass, inScope bool) error {
 	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.RangeStmt:
-				t := info.Types[n.X].Type
-				if t != nil {
-					if _, ok := t.Underlying().(*types.Map); ok {
-						pass.Reportf(n.Range, "map iteration order is nondeterministic; iterate over sorted keys or suppress with a reason")
-					}
-				}
-			case *ast.SelectorExpr:
-				fn, ok := info.Uses[n.Sel].(*types.Func)
-				if !ok || fn.Pkg() == nil {
-					return true
-				}
-				switch fn.Pkg().Path() {
-				case "time":
-					if bannedTime[fn.Name()] {
-						pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulation outputs must not depend on it", fn.Name())
-					}
-				case "math/rand", "math/rand/v2":
-					// Only package-level functions use the global source;
-					// *rand.Rand methods on a seeded generator are fine.
-					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !allowedRand[fn.Name()] {
-						pass.Reportf(n.Pos(), "%s.%s uses the global random source; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
-					}
-				}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			ordered := isFunc && analysis.FuncHasDirective(fd, "emsim:ordered")
+			if !inScope && !ordered {
+				continue
 			}
-			return true
-		})
+			ast.Inspect(decl, func(n ast.Node) bool {
+				check(pass, n)
+				if ordered {
+					if sel, ok := n.(*ast.SelectStmt); ok && len(sel.Body.List) > 1 {
+						pass.Reportf(sel.Select, "select with multiple cases picks a ready case at random; an //emsim:ordered function must not depend on it")
+					}
+				}
+				return true
+			})
+		}
 	}
 	return nil
+}
+
+// check applies the core per-node rules (map range, wall clock, global
+// rand source).
+func check(pass *analysis.Pass, n ast.Node) {
+	info := pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		t := info.Types[n.X].Type
+		if t != nil {
+			if _, ok := t.Underlying().(*types.Map); ok {
+				pass.Reportf(n.Range, "map iteration order is nondeterministic; iterate over sorted keys or suppress with a reason")
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[n.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if bannedTime[fn.Name()] {
+				pass.Reportf(n.Pos(), "time.%s reads the wall clock; simulation outputs must not depend on it", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Only package-level functions use the global source;
+			// *rand.Rand methods on a seeded generator are fine.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil && !allowedRand[fn.Name()] {
+				pass.Reportf(n.Pos(), "%s.%s uses the global random source; use a seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+			}
+		}
+	}
 }

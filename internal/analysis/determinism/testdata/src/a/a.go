@@ -60,3 +60,27 @@ func mapSum(m map[int]int) int {
 	}
 	return s
 }
+
+// Negative: a single-case select (plus default) has no order to get
+// wrong, even in an ordered function.
+//
+//emsim:ordered
+func orderedDrain(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	}
+}
+
+// An ordered reduction must not let the runtime pick between ready
+// channels.
+//
+//emsim:ordered
+func orderedRace(a, b chan int) int {
+	select { // want `select with multiple cases picks a ready case at random`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}

@@ -7,3 +7,15 @@ import "time"
 func clock() time.Time {
 	return time.Now()
 }
+
+// An //emsim:ordered function is held to the full rule set even in an
+// out-of-scope package.
+//
+//emsim:ordered
+func orderedClock(a, b chan int) time.Time {
+	select { // want `select with multiple cases picks a ready case at random`
+	case <-a:
+	case <-b:
+	}
+	return time.Now() // want `time.Now reads the wall clock`
+}

@@ -365,8 +365,9 @@ func TestZeroOperandProgramsRun(t *testing.T) {
 }
 
 func TestRandomOperandProgramsRun(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
-	progs, err := randomOperandPrograms(rng, 5)
+	progs, err := randomOperandPrograms(func(i int) *rand.Rand {
+		return rand.New(rand.NewSource(6 + int64(i)))
+	}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,15 +87,23 @@ func zeroOperandPrograms() [][]uint32 {
 // memory contents are randomized so the data-dependent bit flips span
 // their range. Register setup happens well before the probe instruction
 // so the pipeline is NOP-quiet around it.
-func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32, error) {
+//
+// stream supplies the generator for the i-th program of the campaign.
+// Each program draws from its own stream, so the campaign's content is a
+// function of the stream seeds alone — never of how many draws an
+// earlier program consumed. That independence is what lets the trainer
+// measure the programs in any order, on any worker, without perturbing
+// the campaign.
+func randomOperandPrograms(stream func(i int) *rand.Rand, instancesPerCluster int) ([][]uint32, error) {
 	gap := 7
 	var progs [][]uint32
 
-	build := func(emit func(b *asm.Builder, i int)) error {
+	build := func(emit func(b *asm.Builder, rng *rand.Rand, i int)) error {
+		rng := stream(len(progs))
 		b := asm.NewBuilder()
 		b.Nop(gap)
 		for i := 0; i < instancesPerCluster; i++ {
-			emit(b, i)
+			emit(b, rng, i)
 			b.Nop(gap)
 		}
 		b.I(isa.Ebreak())
@@ -106,7 +114,7 @@ func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32,
 		progs = append(progs, p.Words)
 		return nil
 	}
-	setRegs := func(b *asm.Builder) (isa.Reg, isa.Reg) {
+	setRegs := func(b *asm.Builder, rng *rand.Rand) (isa.Reg, isa.Reg) {
 		b.Li(isa.T0, int32(rng.Uint32()))
 		b.Li(isa.T1, int32(rng.Uint32()))
 		b.Nop(gap)
@@ -116,22 +124,22 @@ func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32,
 	// ALU / Shift / MUL / DIV with random register values.
 	for _, op := range []isa.Op{isa.ADD, isa.XOR, isa.SLL, isa.SRL, isa.MUL, isa.DIV} {
 		op := op
-		if err := build(func(b *asm.Builder, i int) {
-			ra, rb := setRegs(b)
+		if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
+			ra, rb := setRegs(b, rng)
 			b.I(isa.Inst{Op: op, Rd: isa.T2, Rs1: ra, Rs2: rb})
 		}); err != nil {
 			return nil, err
 		}
 	}
 	// Register-immediate ALU with random immediates.
-	if err := build(func(b *asm.Builder, i int) {
-		ra, _ := setRegs(b)
+	if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
+		ra, _ := setRegs(b, rng)
 		b.I(isa.Addi(isa.T2, ra, int32(rng.Intn(4096)-2048)))
 	}); err != nil {
 		return nil, err
 	}
 	// Stores of random data to random slots in the scratch region.
-	if err := build(func(b *asm.Builder, i int) {
+	if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
 		b.Li(isa.T0, int32(rng.Uint32()))
 		b.Li(isa.T1, dataBase)
 		b.Nop(gap)
@@ -141,7 +149,7 @@ func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32,
 	}
 	// Loads of random data: first populate a slot, then (after the dust
 	// settles) load it back; the populating store also adds samples.
-	if err := build(func(b *asm.Builder, i int) {
+	if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
 		off := int32(4 * rng.Intn(256))
 		b.Li(isa.T0, int32(rng.Uint32()))
 		b.Li(isa.T1, dataBase)
@@ -153,7 +161,7 @@ func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32,
 		return nil, err
 	}
 	// Loads that miss: fresh lines, random offsets within the line.
-	if err := build(func(b *asm.Builder, i int) {
+	if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
 		b.Li(isa.T1, dataBase+0x10000+int32(i)*256)
 		b.Nop(gap)
 		b.I(isa.Lw(isa.T2, isa.T1, int32(4*rng.Intn(8))))
@@ -161,8 +169,8 @@ func randomOperandPrograms(rng *rand.Rand, instancesPerCluster int) ([][]uint32,
 		return nil, err
 	}
 	// Branches with random operands (taken and not-taken mixture).
-	if err := build(func(b *asm.Builder, i int) {
-		ra, rb := setRegs(b)
+	if err := build(func(b *asm.Builder, rng *rand.Rand, i int) {
+		ra, rb := setRegs(b, rng)
 		b.I(isa.Bne(ra, rb, 8))
 		b.I(isa.Nop())
 	}); err != nil {

@@ -2,14 +2,16 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"emsim/internal/cpu"
-	"emsim/internal/device"
 	"emsim/internal/linalg"
-	"emsim/internal/signal"
 	"emsim/internal/stats"
 )
+
+// This file holds the training campaign's options and the per-phase
+// fitting mathematics (ridge baseline, stepwise activity, MISO). The
+// pipeline that schedules measurements and drives the phases — parallel
+// fan-out, caching, progress, cancellation — lives in trainer.go.
 
 // TrainOptions tunes the training campaign.
 type TrainOptions struct {
@@ -18,6 +20,9 @@ type TrainOptions struct {
 	// fewer). Default 30.
 	Runs int
 	// Seed drives the random operand/program generation. Default 1.
+	// Every phase derives private per-program streams from it, so
+	// changing one phase's campaign size never perturbs another's
+	// programs.
 	Seed int64
 	// InstancesPerCluster is the number of random-operand probes per
 	// cluster in phase 2. Default 40.
@@ -27,6 +32,22 @@ type TrainOptions struct {
 	// MixedPrograms and MixedLength size the phase-3 campaign.
 	// Defaults: 3 programs of 500 instructions.
 	MixedPrograms, MixedLength int
+	// Workers is the measurement fan-out width: how many device
+	// measurer replicas capture probe programs concurrently. The fitted
+	// model is byte-identical at every worker count (per-program noise
+	// streams plus ordered reduction), so this is purely a wall-clock
+	// knob. 0 selects GOMAXPROCS; 1 measures inline on the calling
+	// goroutine.
+	Workers int
+	// Progress, when non-nil, receives one event per phase start and
+	// per completed measurement. Calls are serialized by the trainer
+	// but may originate from worker goroutines; the callback must not
+	// block for long or it stalls the campaign.
+	Progress func(Progress) `json:"-"`
+	// Cache, when non-nil, lets the campaign reuse measurement
+	// artifacts recorded by earlier trainings of devices with the same
+	// fingerprint (and share its own). See NewMeasurementCache.
+	Cache *MeasurementCache `json:"-"`
 }
 
 func (o *TrainOptions) setDefaults() {
@@ -50,180 +71,11 @@ func (o *TrainOptions) setDefaults() {
 	}
 }
 
-// measurement is one aligned (model trace, measured amplitudes) pair.
+// measurement is one aligned (model trace, extracted amplitudes) pair —
+// a raw artifact after phase-0 kernel deconvolution.
 type measurement struct {
 	trace cpu.Trace
 	amps  []float64 // extracted per-cycle amplitudes
-}
-
-// Trainer fits a Model against a Device. It owns a core configured like
-// the device's (the paper's premise: the microarchitecture is known).
-type Trainer struct {
-	dev  *device.Device
-	cfg  cpu.Config
-	opts TrainOptions
-	core *cpu.CPU
-
-	kernel signal.Kernel
-}
-
-// NewTrainer prepares a training session against dev. The model core is
-// configured identically to the device's core — with the hardware-defect
-// switch cleared, since EMSim simulates the *intended* design (that gap
-// is exactly what the Figure 11 debugging use-case detects).
-func NewTrainer(dev *device.Device, opts TrainOptions) (*Trainer, error) {
-	opts.setDefaults()
-	cfg := dev.Options().CPU
-	cfg.BuggyMul = false
-	c, err := cpu.New(cfg)
-	if err != nil {
-		return nil, err
-	}
-	return &Trainer{dev: dev, cfg: cfg, opts: opts, core: c}, nil
-}
-
-// measure runs one program on the device (averaged over Runs captures),
-// runs the model core on the same program, verifies cycle alignment, and
-// extracts per-cycle amplitudes with the fitted kernel.
-func (t *Trainer) measure(words []uint32) (*measurement, error) {
-	devTrace, y, err := t.dev.MeasureAveraged(words, t.opts.Runs)
-	if err != nil {
-		return nil, err
-	}
-	tr, err := t.core.RunProgram(words)
-	if err != nil {
-		return nil, fmt.Errorf("core: model core failed: %w", err)
-	}
-	if len(tr) != len(devTrace) {
-		return nil, fmt.Errorf("core: model (%d cycles) and device (%d cycles) disagree on timing",
-			len(tr), len(devTrace))
-	}
-	amps, err := ExtractAmplitudes(y, t.dev.SamplesPerCycle(), t.kernel)
-	if err != nil {
-		return nil, err
-	}
-	return &measurement{trace: tr, amps: amps}, nil
-}
-
-// Train runs the full campaign and returns the fitted model.
-func Train(dev *device.Device, opts TrainOptions) (*Model, error) {
-	t, err := NewTrainer(dev, opts)
-	if err != nil {
-		return nil, err
-	}
-	m := &Model{
-		SamplesPerCycle: dev.SamplesPerCycle(),
-		Options:         FullModel(),
-	}
-
-	// ---- Phase 0: kernel fit (§II-C / Figure 1) ----
-	_, nopSig, err := dev.MeasureAveraged(allNOPProgram(64), t.opts.Runs)
-	if err != nil {
-		return nil, fmt.Errorf("core: kernel campaign: %w", err)
-	}
-	steady, err := steadyRegion(nopSig, dev.SamplesPerCycle(), 8)
-	if err != nil {
-		return nil, err
-	}
-	kernel, _, err := FitKernel(steady, dev.SamplesPerCycle(), signal.KernelSinExp)
-	if err != nil {
-		return nil, fmt.Errorf("core: kernel fit: %w", err)
-	}
-	t.kernel = kernel
-	m.Kernel = kernel
-
-	// ---- Phase 1: baseline amplitudes A (§III-B) ----
-	// Isolated NOP→inst→NOP sequences with zero operands establish each
-	// cluster's per-stage footprint; a combination-benchmark group (the
-	// kind of sequence the paper's 16 k-measurement campaign consists of)
-	// provides the dense occupancy mixes that make every (class, stage)
-	// column — including the NOP and bubble baselines, which sparse
-	// sequences exercise only in lock-step — individually identifiable.
-	rng := rand.New(rand.NewSource(t.opts.Seed))
-	var phase1 []*measurement
-	for _, words := range zeroOperandPrograms() {
-		meas, err := t.measure(words)
-		if err != nil {
-			return nil, fmt.Errorf("core: phase 1: %w", err)
-		}
-		phase1 = append(phase1, meas)
-	}
-	nopMeas, err := t.measure(allNOPProgram(64))
-	if err != nil {
-		return nil, err
-	}
-	phase1 = append(phase1, nopMeas)
-	comboWords, err := CombinationGroup(NumGroups-1, rng, false)
-	if err != nil {
-		return nil, err
-	}
-	comboMeas, err := t.measure(comboWords)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-	phase1 = append(phase1, comboMeas)
-	if err := t.fitBaseline(m, phase1); err != nil {
-		return nil, fmt.Errorf("core: phase 1: %w", err)
-	}
-
-	// ---- Phase 2: activity factors via stepwise regression (§III-B) ----
-	progs, err := randomOperandPrograms(rng, t.opts.InstancesPerCluster)
-	if err != nil {
-		return nil, err
-	}
-	var phase2 []*measurement
-	for _, words := range progs {
-		meas, err := t.measure(words)
-		if err != nil {
-			return nil, fmt.Errorf("core: phase 2: %w", err)
-		}
-		phase2 = append(phase2, meas)
-	}
-	// Augment the isolated probes with mixed-instruction sequences and the
-	// combination group so the regression sees transition-bit correlations
-	// as they occur with every cluster in flight.
-	mixWords, err := MixedProgram(rng, t.opts.MixedLength)
-	if err != nil {
-		return nil, err
-	}
-	meas2, err := t.measure(mixWords)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-	phase2 = append(phase2, meas2, comboMeas)
-	if err := t.fitActivity(m, phase2); err != nil {
-		return nil, fmt.Errorf("core: phase 2: %w", err)
-	}
-
-	// ---- Phase 3: MISO combination coefficients M (§III-C) ----
-	var phase3 []*measurement
-	for i := 0; i < t.opts.MixedPrograms; i++ {
-		words, err := MixedProgram(rng, t.opts.MixedLength)
-		if err != nil {
-			return nil, err
-		}
-		meas, err := t.measure(words)
-		if err != nil {
-			return nil, fmt.Errorf("core: phase 3: %w", err)
-		}
-		phase3 = append(phase3, meas)
-	}
-	// One combination-benchmark group keeps the fit calibrated on the
-	// all-clusters-in-flight regime the paper measures its 16 k sequences
-	// in.
-	comboWords3, err := CombinationGroup(NumGroups-2, rng, false)
-	if err != nil {
-		return nil, err
-	}
-	meas3, err := t.measure(comboWords3)
-	if err != nil {
-		return nil, fmt.Errorf("core: phase 3: %w", err)
-	}
-	phase3 = append(phase3, meas3)
-	if err := t.fitMISO(m, phase3); err != nil {
-		return nil, fmt.Errorf("core: phase 3: %w", err)
-	}
-	return m, nil
 }
 
 // phase1Columns is the design width of the baseline fit: an intercept

@@ -1,0 +1,460 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emsim/internal/cpu"
+	"emsim/internal/device"
+	"emsim/internal/signal"
+)
+
+// This file is the staged training pipeline: the phase DAG
+// (kernel-fit → baseline → activity → miso) behind Trainer.Run, the
+// parallel measurement fan-out, and the progress/timing observability.
+// The per-phase fitting mathematics lives in train.go.
+//
+// Determinism contract: the fitted model is a pure function of
+// (device configuration, TrainOptions.{Seed,Runs,campaign sizes}) —
+// independent of Workers, of measurement completion order, and of cache
+// warmth. Three mechanisms compose to guarantee that:
+//
+//  1. program generation draws from per-phase, per-program streams
+//     (trainStream), never from one shared generator, so the campaign's
+//     program list is fixed before any measurement begins;
+//  2. each measurement replica (device.Measurer) seeds its noise from
+//     (device noise seed, program words), so a capture is the same no
+//     matter which worker performs it, or when;
+//  3. the fan-out reduces into an index-ordered slice, so the fitters
+//     always see measurements in campaign order.
+
+// Phase identifies one stage of the training pipeline.
+type Phase int
+
+const (
+	// PhaseKernel fits the damped-sinusoid clock kernel from an all-NOP
+	// capture (§II-C / Figure 1).
+	PhaseKernel Phase = iota
+	// PhaseBaseline fits the per-(cluster,stage) baseline amplitudes by
+	// ridge regression over stage-occupancy indicators (§III-B).
+	PhaseBaseline
+	// PhaseActivity fits the data-dependent activity factors by stepwise
+	// regression on the baseline model's residuals (§III-B).
+	PhaseActivity
+	// PhaseMISO fits the per-stage combination coefficients (§III-C).
+	PhaseMISO
+
+	numPhases
+)
+
+// NumPhases is the number of pipeline phases.
+const NumPhases = int(numPhases)
+
+// String returns the phase's campaign name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseKernel:
+		return "kernel-fit"
+	case PhaseBaseline:
+		return "baseline"
+	case PhaseActivity:
+		return "activity"
+	case PhaseMISO:
+		return "miso"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Progress is one training progress event: Done of Total measurements
+// of the named phase are complete, Elapsed after the phase began. A
+// phase announces itself with a Done == 0 event.
+type Progress struct {
+	Phase   Phase
+	Done    int
+	Total   int
+	Elapsed time.Duration
+}
+
+// Trainer fits a Model against a Device by running the four-phase
+// measurement campaign. Build one with NewTrainer and drive it with Run;
+// a Trainer is single-use.
+type Trainer struct {
+	dev     *device.Device
+	cfg     cpu.Config // model-core config (device's, defect switches cleared)
+	opts    TrainOptions
+	workers int
+	fp      uint64 // device fingerprint, the cache-key device component
+
+	kernel signal.Kernel
+
+	mu         sync.Mutex // serializes progress state and callback calls
+	done       int
+	total      int
+	phaseStart time.Time
+	timings    [NumPhases]time.Duration
+}
+
+// NewTrainer prepares a training session against dev. The model core is
+// configured identically to the device's core — with the hardware-defect
+// switch cleared, since EMSim simulates the *intended* design (that gap
+// is exactly what the Figure 11 debugging use-case detects).
+func NewTrainer(dev *device.Device, opts TrainOptions) (*Trainer, error) {
+	opts.setDefaults()
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("core: negative training worker count %d", opts.Workers)
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := dev.Options().CPU
+	cfg.BuggyMul = false
+	// Surface configuration errors here rather than from inside a worker.
+	if _, err := cpu.New(cfg); err != nil {
+		return nil, err
+	}
+	return &Trainer{dev: dev, cfg: cfg, opts: opts, workers: workers, fp: dev.Fingerprint()}, nil
+}
+
+// Train runs the full campaign and returns the fitted model. It is the
+// blocking convenience form of NewTrainer + Run.
+func Train(dev *device.Device, opts TrainOptions) (*Model, error) {
+	t, err := NewTrainer(dev, opts)
+	if err != nil {
+		return nil, err
+	}
+	return t.Run(context.Background())
+}
+
+// Stream indices for campaign programs that are not members of a
+// numbered per-program family (those use their family index).
+const (
+	streamCombo = 1 << 20 // combination-benchmark group generation
+	streamMixed = 1 << 21 // the phase-2 mixed augmentation program
+)
+
+// trainStream returns the generator for one program-generation stream,
+// keyed by (campaign seed, phase, stream index). Independent streams per
+// program are what make the campaign's program list a function of the
+// options alone: growing one phase's campaign, or reordering its
+// measurements, never perturbs the programs of another.
+func trainStream(seed int64, p Phase, index int64) *rand.Rand {
+	z := uint64(seed)*0x9E3779B97F4A7C15 ^ uint64(p)*0xD1B54A32D192ED03 ^ uint64(index)*0x8CB92BA72F3D8DD7
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return rand.New(rand.NewSource(int64(z ^ (z >> 31))))
+}
+
+// Run executes the campaign: measure and fit each phase in DAG order,
+// reporting progress to the options' callback. It returns early with
+// ctx's error if the context is cancelled mid-campaign (cancellation
+// latency is bounded by one device capture per worker, and every worker
+// goroutine has exited by the time Run returns). The result for a given
+// device and options is byte-identical at every worker count.
+func (t *Trainer) Run(ctx context.Context) (*Model, error) {
+	m := &Model{
+		SamplesPerCycle: t.dev.SamplesPerCycle(),
+		Options:         FullModel(),
+	}
+
+	// ---- Phase 0: kernel fit (§II-C / Figure 1) ----
+	_, err := t.runPhase(ctx, PhaseKernel, [][]uint32{allNOPProgram(64)}, func(raw []*rawMeasurement) error {
+		steady, err := steadyRegion(raw[0].y, t.dev.SamplesPerCycle(), 8)
+		if err != nil {
+			return err
+		}
+		kernel, _, err := FitKernel(steady, t.dev.SamplesPerCycle(), signal.KernelSinExp)
+		if err != nil {
+			return fmt.Errorf("kernel fit: %w", err)
+		}
+		t.kernel = kernel
+		m.Kernel = kernel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 1: baseline amplitudes A (§III-B) ----
+	// Isolated NOP→inst→NOP sequences with zero operands establish each
+	// cluster's per-stage footprint; a combination-benchmark group (the
+	// kind of sequence the paper's 16 k-measurement campaign consists of)
+	// provides the dense occupancy mixes that make every (class, stage)
+	// column — including the NOP and bubble baselines, which sparse
+	// sequences exercise only in lock-step — individually identifiable.
+	p1 := zeroOperandPrograms()
+	p1 = append(p1, allNOPProgram(64))
+	comboWords, err := CombinationGroup(NumGroups-1, trainStream(t.opts.Seed, PhaseBaseline, streamCombo), false)
+	if err != nil {
+		return nil, err
+	}
+	p1 = append(p1, comboWords)
+	raw1, err := t.runPhase(ctx, PhaseBaseline, p1, func(raw []*rawMeasurement) error {
+		meas, err := t.extract(raw)
+		if err != nil {
+			return err
+		}
+		return t.fitBaseline(m, meas)
+	})
+	if err != nil {
+		return nil, err
+	}
+	comboRaw := raw1[len(raw1)-1]
+
+	// ---- Phase 2: activity factors via stepwise regression (§III-B) ----
+	// Isolated random-operand probes, augmented with a mixed-instruction
+	// sequence and the phase-1 combination group so the regression sees
+	// transition-bit correlations as they occur with every cluster in
+	// flight.
+	p2, err := randomOperandPrograms(func(i int) *rand.Rand {
+		return trainStream(t.opts.Seed, PhaseActivity, int64(i))
+	}, t.opts.InstancesPerCluster)
+	if err != nil {
+		return nil, err
+	}
+	mixWords, err := MixedProgram(trainStream(t.opts.Seed, PhaseActivity, streamMixed), t.opts.MixedLength)
+	if err != nil {
+		return nil, err
+	}
+	p2 = append(p2, mixWords)
+	_, err = t.runPhase(ctx, PhaseActivity, p2, func(raw []*rawMeasurement) error {
+		meas, err := t.extract(append(raw, comboRaw))
+		if err != nil {
+			return err
+		}
+		return t.fitActivity(m, meas)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 3: MISO combination coefficients M (§III-C) ----
+	// Mixed programs where all clusters share the pipeline, plus one
+	// combination-benchmark group to keep the fit calibrated on the
+	// all-clusters-in-flight regime the paper measures its 16 k
+	// sequences in.
+	var p3 [][]uint32
+	for i := 0; i < t.opts.MixedPrograms; i++ {
+		words, err := MixedProgram(trainStream(t.opts.Seed, PhaseMISO, int64(i)), t.opts.MixedLength)
+		if err != nil {
+			return nil, err
+		}
+		p3 = append(p3, words)
+	}
+	combo3, err := CombinationGroup(NumGroups-2, trainStream(t.opts.Seed, PhaseMISO, streamCombo), false)
+	if err != nil {
+		return nil, err
+	}
+	p3 = append(p3, combo3)
+	_, err = t.runPhase(ctx, PhaseMISO, p3, func(raw []*rawMeasurement) error {
+		meas, err := t.extract(raw)
+		if err != nil {
+			return err
+		}
+		return t.fitMISO(m, meas)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// PhaseTimings returns the wall-clock duration of each completed phase
+// (measurement fan-out plus fit). Durations are observability output
+// only; they never influence the fitted model.
+func (t *Trainer) PhaseTimings() [NumPhases]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timings
+}
+
+// runPhase drives one phase: announce it, fan the programs out across
+// the measurement workers, hand the index-ordered artifacts to fit, and
+// record the phase timing.
+func (t *Trainer) runPhase(ctx context.Context, p Phase, programs [][]uint32, fit func([]*rawMeasurement) error) ([]*rawMeasurement, error) {
+	t.beginPhase(p, len(programs))
+	raw, err := t.measureAll(ctx, p, programs)
+	if err == nil && fit != nil {
+		err = fit(raw)
+	}
+	t.endPhase(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", p, err)
+	}
+	return raw, nil
+}
+
+// trainWorker is one measurement replica: an independent device measurer
+// plus an independent model core for the aligned replay.
+type trainWorker struct {
+	meas *device.Measurer
+	core *cpu.CPU
+}
+
+func (t *Trainer) newWorker() (*trainWorker, error) {
+	meas, err := t.dev.NewMeasurer()
+	if err != nil {
+		return nil, err
+	}
+	core, err := cpu.New(t.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &trainWorker{meas: meas, core: core}, nil
+}
+
+// measureOne produces the raw artifact for one program: the averaged
+// device capture and the model core's cycle-aligned trace, through the
+// measurement cache when one is attached.
+func (t *Trainer) measureOne(ctx context.Context, w *trainWorker, words []uint32) (*rawMeasurement, error) {
+	key := measurementKey{device: t.fp, runs: t.opts.Runs, program: hashProgram(words)}
+	if r := t.opts.Cache.get(key); r != nil {
+		return r, nil
+	}
+	devTrace, y, err := w.meas.MeasureAveraged(ctx, words, t.opts.Runs)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.core.RunProgram(words)
+	if err != nil {
+		return nil, fmt.Errorf("model core failed: %w", err)
+	}
+	if len(tr) != len(devTrace) {
+		return nil, fmt.Errorf("model (%d cycles) and device (%d cycles) disagree on timing",
+			len(tr), len(devTrace))
+	}
+	r := &rawMeasurement{trace: tr, y: y}
+	t.opts.Cache.put(key, r)
+	return r, nil
+}
+
+// measureAll measures every program of one phase and returns the
+// artifacts in program order. With one worker it runs inline on the
+// calling goroutine; otherwise workers claim indices atomically and
+// write into an index-ordered result slice, so completion order can
+// never leak into the fit. On failure the lowest-index recorded error
+// wins, keeping error reporting independent of scheduling too.
+//
+//emsim:ordered
+func (t *Trainer) measureAll(ctx context.Context, phase Phase, programs [][]uint32) ([]*rawMeasurement, error) {
+	results := make([]*rawMeasurement, len(programs))
+	workers := t.workers
+	if workers > len(programs) {
+		workers = len(programs)
+	}
+	if workers <= 1 {
+		w, err := t.newWorker()
+		if err != nil {
+			return nil, err
+		}
+		for i, words := range programs {
+			r, err := t.measureOne(ctx, w, words)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			t.noteProgress(phase)
+		}
+		return results, nil
+	}
+
+	var (
+		wg     sync.WaitGroup
+		next   atomic.Int64
+		failed atomic.Bool
+	)
+	errs := make([]error, len(programs)) // per-program errors, by index
+	workerErrs := make([]error, workers) // replica-construction failures
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w, err := t.newWorker()
+			if err != nil {
+				workerErrs[wi] = err
+				failed.Store(true)
+				return
+			}
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(programs) {
+					return
+				}
+				r, err := t.measureOne(ctx, w, programs[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				results[i] = r
+				t.noteProgress(phase)
+			}
+		}(wi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range workerErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// extract turns raw artifacts into fit-ready measurements with the
+// phase-0 kernel. Extraction happens after the cache, which is what
+// keeps cache hits kernel-agnostic.
+func (t *Trainer) extract(raw []*rawMeasurement) ([]*measurement, error) {
+	out := make([]*measurement, len(raw))
+	for i, r := range raw {
+		amps, err := ExtractAmplitudes(r.y, t.dev.SamplesPerCycle(), t.kernel)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = &measurement{trace: r.trace, amps: amps}
+	}
+	return out, nil
+}
+
+func (t *Trainer) beginPhase(p Phase, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done, t.total = 0, total
+	//emsim:ignore determinism phase timings are observability output only; they never feed fitted parameters
+	t.phaseStart = time.Now()
+	if t.opts.Progress != nil {
+		t.opts.Progress(Progress{Phase: p, Done: 0, Total: total})
+	}
+}
+
+func (t *Trainer) noteProgress(p Phase) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	if t.opts.Progress != nil {
+		//emsim:ignore determinism progress timings are observability output only
+		t.opts.Progress(Progress{Phase: p, Done: t.done, Total: t.total, Elapsed: time.Since(t.phaseStart)})
+	}
+}
+
+func (t *Trainer) endPhase(p Phase) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	//emsim:ignore determinism phase timings are observability output only
+	t.timings[p] = time.Since(t.phaseStart)
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"emsim/internal/device"
+)
+
+// Tests for the staged Trainer: worker-count equivalence (the
+// determinism contract), cancellation behaviour, progress reporting, and
+// the measurement cache.
+
+// trainWith trains one model on a fresh default device and returns its
+// serialized bytes plus the progress events observed.
+func trainWith(t *testing.T, opts TrainOptions) ([]byte, []Progress) {
+	t.Helper()
+	var events []Progress
+	opts.Progress = func(p Progress) { events = append(events, p) }
+	dev := device.MustNew(device.DefaultOptions())
+	tr, err := NewTrainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := tr.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), events
+}
+
+func TestTrainerWorkerCountEquivalence(t *testing.T) {
+	// The determinism contract: the serialized model must be
+	// byte-identical whether measurements run inline (Workers: 1), on a
+	// small pool, or at full GOMAXPROCS fan-out (core.Train's default).
+	opts := smallCampaign()
+
+	opts.Workers = 1
+	seq, events := trainWith(t, opts)
+
+	opts.Workers = 3
+	pool, _ := trainWith(t, opts)
+	if !bytes.Equal(seq, pool) {
+		t.Errorf("3-worker training differs from sequential (%d vs %d bytes)", len(pool), len(seq))
+	}
+
+	opts.Workers = 0 // GOMAXPROCS, the Train() default
+	wide, _ := trainWith(t, opts)
+	if !bytes.Equal(seq, wide) {
+		t.Errorf("GOMAXPROCS training differs from sequential (%d vs %d bytes)", len(wide), len(seq))
+	}
+
+	// The progress stream from the sequential run must announce every
+	// phase in DAG order and count each one monotonically to completion.
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	seen := make([]bool, NumPhases)
+	phase, done := Phase(-1), 0
+	for _, e := range events {
+		if e.Phase < phase {
+			t.Fatalf("phase %v reported after %v", e.Phase, phase)
+		}
+		if e.Phase > phase {
+			if e.Done != 0 {
+				t.Fatalf("phase %v did not announce itself with Done=0 (got %d)", e.Phase, e.Done)
+			}
+			phase, done = e.Phase, 0
+			seen[e.Phase] = true
+			continue
+		}
+		if e.Done != done+1 {
+			t.Fatalf("phase %v progress jumped from %d to %d", e.Phase, done, e.Done)
+		}
+		done = e.Done
+		if e.Done > e.Total {
+			t.Fatalf("phase %v overran: %d/%d", e.Phase, e.Done, e.Total)
+		}
+	}
+	for p, ok := range seen {
+		if !ok {
+			t.Errorf("phase %v never reported", Phase(p))
+		}
+	}
+}
+
+func TestTrainerCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := smallCampaign()
+	opts.Workers = 4
+	// Cancel from inside the campaign, two measurements into phase 1 —
+	// mid-fan-out, with workers in flight.
+	var lastPhase Phase
+	opts.Progress = func(p Progress) {
+		lastPhase = p.Phase
+		if p.Phase == PhaseBaseline && p.Done >= 2 {
+			cancel()
+		}
+	}
+	dev := device.MustNew(device.DefaultOptions())
+	tr, err := NewTrainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	m, err := tr.Run(ctx)
+	if m != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run after cancel = (%v, %v), want (nil, context.Canceled)", m, err)
+	}
+	// Generous bound; the point is "promptly", not "instantly" — latency
+	// is one capture per in-flight worker.
+	if d := time.Since(start); d > 30*time.Second {
+		t.Errorf("cancelled Run took %v", d)
+	}
+	if lastPhase > PhaseBaseline {
+		t.Errorf("campaign advanced to %v after cancellation", lastPhase)
+	}
+
+	// Every worker goroutine must have exited by the time Run returns
+	// (allow a moment for runtime bookkeeping).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("goroutine leak: %d before Run, %d after", before, g)
+	}
+}
+
+func TestMeasurementCacheReuse(t *testing.T) {
+	cache := NewMeasurementCache()
+	opts := smallCampaign()
+	opts.Cache = cache
+
+	first, _ := trainWith(t, opts)
+	after1 := cache.Stats()
+	// Every entry comes from one miss. (Hits can occur within a single
+	// campaign: the all-NOP program is measured by both phase 0 and
+	// phase 1, and the cache dedupes it.)
+	if after1.Entries == 0 || after1.Misses != int64(after1.Entries) {
+		t.Fatalf("first training: stats %+v, want entries > 0, one miss per entry", after1)
+	}
+
+	// A retraining with the same options against an identically
+	// configured device must be served entirely from the cache and fit
+	// the identical model.
+	second, _ := trainWith(t, opts)
+	after2 := cache.Stats()
+	if after2.Misses != after1.Misses {
+		t.Errorf("second training missed the cache %d times", after2.Misses-after1.Misses)
+	}
+	if after2.Hits == 0 {
+		t.Error("second training recorded no cache hits")
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("cached retraining produced a different model")
+	}
+
+	// A differently configured device must not share artifacts.
+	devOpts := device.DefaultOptions()
+	devOpts.NoiseSeed++
+	if device.MustNew(device.DefaultOptions()).Fingerprint() == device.MustNew(devOpts).Fingerprint() {
+		t.Error("distinct device configurations share a fingerprint")
+	}
+}
+
+func TestNewTrainerRejectsNegativeWorkers(t *testing.T) {
+	dev := device.MustNew(device.DefaultOptions())
+	opts := smallCampaign()
+	opts.Workers = -1
+	if _, err := NewTrainer(dev, opts); err == nil {
+		t.Error("NewTrainer accepted a negative worker count")
+	}
+}

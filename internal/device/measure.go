@@ -1,0 +1,114 @@
+package device
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"emsim/internal/cpu"
+)
+
+// This file is the parallel-measurement surface of the synthetic bench.
+// A Device's Capture/MeasureAveraged draw noise from one shared RNG whose
+// state advances with every capture — faithful to a single oscilloscope,
+// but useless for a measurement fan-out, where the noise a program sees
+// would depend on which worker got there first. A Measurer is an
+// independent replica of the same physical setup (shared hidden physics,
+// private core) whose noise is a *per-program* deterministic stream:
+// measuring the same program on any replica, in any order, at any
+// concurrency, yields byte-identical captures. That property is what
+// lets core.Trainer promise a fitted model independent of worker count.
+
+// Fingerprint returns a stable content hash of the device's observable
+// configuration (board seed, clock trim, probe, noise, rate, core
+// geometry). Two devices with equal fingerprints produce identical
+// Measurer captures for identical programs, which makes the fingerprint
+// the device component of core.MeasurementCache keys.
+func (d *Device) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", d.opts)
+	return h.Sum64()
+}
+
+// programNoiseSeed derives the seed of one program's noise stream from
+// the device noise seed and the program content (FNV-1a over the words,
+// finalized with a splitmix64 step so adjacent seeds decorrelate).
+func programNoiseSeed(noiseSeed int64, words []uint32) int64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, w := range words {
+		b[0] = byte(w)
+		b[1] = byte(w >> 8)
+		b[2] = byte(w >> 16)
+		b[3] = byte(w >> 24)
+		h.Write(b[:])
+	}
+	z := h.Sum64() ^ uint64(noiseSeed)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Measurer is one independent measurement replica of a Device: it shares
+// the device's hidden physics and probe placement but owns its core and
+// derives a fresh per-program noise stream for every measurement.
+// Measurers are not safe for concurrent use individually; any number of
+// them may measure concurrently against the same Device.
+type Measurer struct {
+	d    *Device
+	core *cpu.CPU
+}
+
+// NewMeasurer builds an independent measurement replica of the device.
+func (d *Device) NewMeasurer() (*Measurer, error) {
+	core, err := cpu.New(d.opts.CPU)
+	if err != nil {
+		return nil, err
+	}
+	return &Measurer{d: d, core: core}, nil
+}
+
+// Device returns the device this replica measures.
+func (m *Measurer) Device() *Device { return m.d }
+
+// MeasureAveraged is the replica form of Device.MeasureAveraged: the
+// program is executed `runs` times and the noisy captures are averaged
+// with the modulo operation. Unlike the Device method, the noise comes
+// from a stream seeded by (device noise seed, program words), so the
+// result is a pure function of (device configuration, program, runs) —
+// independent of measurement order and of every other program measured.
+// The context is checked between runs, bounding cancellation latency to
+// one capture.
+func (m *Measurer) MeasureAveraged(ctx context.Context, words []uint32, runs int) (cpu.Trace, []float64, error) {
+	if runs < 1 {
+		return nil, nil, fmt.Errorf("device: need >= 1 run (got %d)", runs)
+	}
+	rng := rand.New(rand.NewSource(programNoiseSeed(m.d.opts.NoiseSeed, words)))
+	var tr cpu.Trace
+	var acc []float64
+	for r := 0; r < runs; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		t, err := m.core.RunProgram(words)
+		if err != nil {
+			return nil, nil, fmt.Errorf("device: %w", err)
+		}
+		y := m.d.emit(t)
+		if acc == nil {
+			acc = make([]float64, len(y))
+			tr = t
+		} else if len(y) != len(acc) {
+			return nil, nil, fmt.Errorf("device: nondeterministic run length (%d vs %d samples)", len(y), len(acc))
+		}
+		for i, v := range y {
+			acc[i] += v + m.d.opts.NoiseStd*rng.NormFloat64()
+		}
+	}
+	inv := 1 / float64(runs)
+	for i := range acc {
+		acc[i] *= inv
+	}
+	return tr, acc, nil
+}

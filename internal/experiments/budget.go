@@ -45,7 +45,7 @@ func (e *Env) TrainingBudgetStudy() (*BudgetResult, error) {
 	}
 	res := &BudgetResult{}
 	for _, rung := range ladder {
-		m, err := core.Train(e.Dev, core.TrainOptions{
+		m, err := e.train(e.Dev, core.TrainOptions{
 			Seed:                e.Seed,
 			Runs:                rung.runs,
 			InstancesPerCluster: rung.instances,

@@ -26,6 +26,13 @@ type Env struct {
 	Runs int
 	// Seed drives workload generation.
 	Seed int64
+	// Cache holds measurement artifacts shared by every retraining an
+	// experiment performs (the robustness, budget and sampling studies
+	// retrain repeatedly against devices the bench already measured).
+	Cache *core.MeasurementCache
+	// TrainWorkers is the measurement fan-out width passed to every
+	// training run; 0 means GOMAXPROCS.
+	TrainWorkers int
 }
 
 // EnvOptions configures NewEnv.
@@ -59,11 +66,30 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := core.Train(dev, opts.Train)
+	e := &Env{
+		Dev:          dev,
+		Runs:         opts.Runs,
+		Seed:         opts.Seed,
+		Cache:        core.NewMeasurementCache(),
+		TrainWorkers: opts.Train.Workers,
+	}
+	m, err := e.train(dev, opts.Train)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
-	return &Env{Dev: dev, Model: m, Runs: opts.Runs, Seed: opts.Seed}, nil
+	e.Model = m
+	return e, nil
+}
+
+// train runs one training campaign through the bench's shared
+// measurement cache, so a retraining experiment re-measures only what
+// the bench has not captured before.
+func (e *Env) train(dev *device.Device, opts core.TrainOptions) (*core.Model, error) {
+	opts.Cache = e.Cache
+	if opts.Workers == 0 {
+		opts.Workers = e.TrainWorkers
+	}
+	return core.Train(dev, opts)
 }
 
 // rng returns a fresh deterministic generator for one experiment, salted

@@ -39,7 +39,7 @@ func (e *Env) SamplingRateStudy() (*SamplingRateResult, error) {
 		if spc == e.Dev.SamplesPerCycle() {
 			m = e.Model // reuse the shared model at the native rate
 		} else {
-			m, err = core.Train(dev, core.TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400})
+			m, err = e.train(dev, core.TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400})
 			if err != nil {
 				// Below the Nyquist rate of the device's ~4-per-cycle
 				// ringing the waveform aliases away and training cannot

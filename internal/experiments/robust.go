@@ -144,7 +144,7 @@ func (e *Env) BoardVariability() (*BoardResult, error) {
 	// Retrain on the new board (the paper re-measures A and c; our
 	// trainer refits all three phases — we then graft the original M to
 	// show it transfers).
-	m2, err := core.Train(dev2, core.TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400})
+	m2, err := e.train(dev2, core.TrainOptions{Runs: 10, InstancesPerCluster: 30, MixedLength: 400})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"emsim/internal/core"
+	"emsim/internal/device"
+)
+
+// This file measures the training pipeline itself: per-phase wall-clock
+// at a ladder of worker counts, the parallel speedup, and a check that
+// the determinism contract holds (every worker count fits the identical
+// model). It backs the "training performance" row of EXPERIMENTS.md.
+
+// TrainingPipelinePoint is one rung of the worker ladder.
+type TrainingPipelinePoint struct {
+	Workers int
+	Phases  [core.NumPhases]time.Duration
+	Total   time.Duration
+}
+
+// TrainingPipelineResult is the study outcome.
+type TrainingPipelineResult struct {
+	Points []TrainingPipelinePoint
+	// Speedup is sequential total over the best parallel total.
+	Speedup float64
+	// Identical reports whether every rung serialized the same model
+	// byte-for-byte (the Trainer's determinism contract).
+	Identical bool
+}
+
+// TrainingPipelineStudy trains the same campaign at each worker count
+// against identically configured fresh devices with cold caches, so the
+// timings measure the fan-out and nothing else. With no explicit counts
+// it compares sequential (1) against GOMAXPROCS.
+func TrainingPipelineStudy(train core.TrainOptions, workerCounts ...int) (*TrainingPipelineResult, error) {
+	if len(workerCounts) == 0 {
+		// Exercise the pooled path even on a single-core host (where it
+		// cannot win wall-clock but must still fit the identical model).
+		par := runtime.GOMAXPROCS(0)
+		if par < 2 {
+			par = 2
+		}
+		workerCounts = []int{1, par}
+	}
+	res := &TrainingPipelineResult{Identical: true}
+	var ref []byte
+	for _, w := range workerCounts {
+		opts := train
+		opts.Workers = w
+		opts.Cache = nil
+		tr, err := core.NewTrainer(device.MustNew(device.DefaultOptions()), opts)
+		if err != nil {
+			return nil, err
+		}
+		m, err := tr.Run(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: training with %d workers: %w", w, err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			return nil, err
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+		} else if !bytes.Equal(ref, buf.Bytes()) {
+			res.Identical = false
+		}
+		pt := TrainingPipelinePoint{Workers: w, Phases: tr.PhaseTimings()}
+		for _, d := range pt.Phases {
+			pt.Total += d
+		}
+		res.Points = append(res.Points, pt)
+	}
+	best := res.Points[0].Total
+	for _, pt := range res.Points[1:] {
+		if pt.Total < best {
+			best = pt.Total
+		}
+	}
+	if best > 0 {
+		res.Speedup = float64(res.Points[0].Total) / float64(best)
+	}
+	return res, nil
+}
+
+func (r *TrainingPipelineResult) String() string {
+	rows := make([][]string, len(r.Points))
+	for i, pt := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", pt.Workers),
+			pt.Phases[core.PhaseKernel].Round(time.Millisecond).String(),
+			pt.Phases[core.PhaseBaseline].Round(time.Millisecond).String(),
+			pt.Phases[core.PhaseActivity].Round(time.Millisecond).String(),
+			pt.Phases[core.PhaseMISO].Round(time.Millisecond).String(),
+			pt.Total.Round(time.Millisecond).String(),
+		}
+	}
+	same := "yes"
+	if !r.Identical {
+		same = "NO — determinism contract violated"
+	}
+	return "training-pipeline performance (staged Trainer, measurement fan-out)\n" +
+		table([]string{"workers", "kernel-fit", "baseline", "activity", "miso", "total"}, rows) +
+		fmt.Sprintf("speedup %.2fx over sequential; models byte-identical: %s\n", r.Speedup, same)
+}

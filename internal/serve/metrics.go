@@ -73,6 +73,12 @@ type metrics struct {
 	cycles     expvar.Int // total simulated clock cycles
 	latency    latencyRing
 
+	trainsSubmitted expvar.Int // training jobs accepted
+	trainsActive    expvar.Int // training jobs queued or running
+	trainsDone      expvar.Int // training jobs that fitted a model
+	trainsFailed    expvar.Int // training jobs that ended in error
+	trainsCancelled expvar.Int // training jobs cancelled by the client or drain
+
 	vars expvar.Map
 }
 
@@ -86,6 +92,11 @@ func newMetrics() *metrics {
 	m.vars.Set("requests_cancelled", &m.cancelled)
 	m.vars.Set("cycles_simulated", &m.cycles)
 	m.vars.Set("latency", expvar.Func(func() any { return m.latency.summary() }))
+	m.vars.Set("trains_submitted", &m.trainsSubmitted)
+	m.vars.Set("trains_active", &m.trainsActive)
+	m.vars.Set("trains_done", &m.trainsDone)
+	m.vars.Set("trains_failed", &m.trainsFailed)
+	m.vars.Set("trains_cancelled", &m.trainsCancelled)
 	return m
 }
 

@@ -48,6 +48,16 @@ type Config struct {
 	// MaxTVLATraces caps traces_per_group of a /v1/tvla request.
 	// Default 256.
 	MaxTVLATraces int
+	// MaxTrainJobs bounds how many /v1/train campaigns run concurrently;
+	// excess jobs queue inside the registry. Default 1 (training is
+	// internally parallel already).
+	MaxTrainJobs int
+	// TrainWorkers is the measurement fan-out width of each training
+	// campaign; 0 means GOMAXPROCS.
+	TrainWorkers int
+	// MaxTrainRuns caps the runs field of a /v1/train request.
+	// Default 200.
+	MaxTrainRuns int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTVLATraces <= 0 {
 		c.MaxTVLATraces = 256
 	}
+	if c.MaxTrainJobs <= 0 {
+		c.MaxTrainJobs = 1
+	}
+	if c.MaxTrainRuns <= 0 {
+		c.MaxTrainRuns = 200
+	}
 	return c
 }
 
@@ -85,11 +101,12 @@ func (c Config) withDefaults() Config {
 // Handler on an http.Server, and Close it (after http.Server.Shutdown)
 // to drain the worker pool.
 type Server struct {
-	model *core.Model
-	cfg   Config
-	sched *scheduler
-	met   *metrics
-	mux   *http.ServeMux
+	model  *core.Model
+	cfg    Config
+	sched  *scheduler
+	met    *metrics
+	trains *trainRegistry
+	mux    *http.ServeMux
 }
 
 // New builds the service: the session pool spins up eagerly so an
@@ -102,9 +119,14 @@ func New(m *core.Model, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{model: m, cfg: cfg, sched: sched, met: met}
+	s.trains = newTrainRegistry(cfg.MaxTrainJobs, met)
+	met.vars.Set("train_cache", expvar.Func(func() any { return s.trains.cacheStats() }))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("POST /v1/tvla", s.handleTVLA)
+	s.mux.HandleFunc("POST /v1/train", s.handleTrainSubmit)
+	s.mux.HandleFunc("GET /v1/train/{id}", s.handleTrainStatus)
+	s.mux.HandleFunc("DELETE /v1/train/{id}", s.handleTrainCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	return s, nil
@@ -116,11 +138,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Vars exposes the server's metrics map for global expvar registration.
 func (s *Server) Vars() *expvar.Map { return s.met.Vars() }
 
-// Close drains the worker pool: no new jobs are accepted and every
-// queued or in-flight job completes (cancelled jobs complete within one
-// context-check interval). Call it after http.Server.Shutdown so late
-// handlers see errDraining instead of a send on a closed queue.
-func (s *Server) Close() { s.sched.drain() }
+// Close drains the worker pool and the training registry: no new jobs
+// are accepted, every queued or in-flight simulation completes
+// (cancelled jobs complete within one context-check interval), and every
+// live training campaign is cancelled and waited out. Call it after
+// http.Server.Shutdown so late handlers see errDraining instead of a
+// send on a closed queue.
+func (s *Server) Close() {
+	s.sched.drain()
+	s.trains.drain()
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.sched.draining() {

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"emsim/internal/core"
+	"emsim/internal/device"
+)
+
+// This file is the asynchronous training surface: POST /v1/train submits
+// a campaign against a fresh synthetic device and returns a job ID;
+// GET /v1/train/{id} reports phase-level progress (fed by the Trainer's
+// progress callback) and, once done, the fitted model; DELETE cancels.
+// Training is hours-of-CPU-scale next to a simulate call, so jobs run on
+// their own goroutines gated by a small semaphore rather than through
+// the simulation worker pool, and every server shares one measurement
+// cache, making a re-submitted campaign against the same device
+// configuration mostly cache hits.
+
+// Training job states.
+const (
+	trainQueued    = "queued"
+	trainRunning   = "running"
+	trainDone      = "done"
+	trainFailed    = "failed"
+	trainCancelled = "cancelled"
+)
+
+// trainRequest is the POST /v1/train body. Zero-valued campaign fields
+// take the core.TrainOptions defaults; zero-valued device fields take
+// the default bench.
+type trainRequest struct {
+	Seed                int64 `json:"seed"`
+	Runs                int   `json:"runs"`
+	InstancesPerCluster int   `json:"instances_per_cluster"`
+	MixedPrograms       int   `json:"mixed_programs"`
+	MixedLength         int   `json:"mixed_length"`
+	// Workers overrides the server's per-campaign fan-out width.
+	Workers int `json:"workers"`
+	// TechSeed / NoiseSeed select the synthetic board instance.
+	TechSeed  int64 `json:"tech_seed"`
+	NoiseSeed int64 `json:"noise_seed"`
+}
+
+// trainStatus is the wire form of a job snapshot.
+type trainStatus struct {
+	ID        string          `json:"job_id"`
+	State     string          `json:"state"`
+	Phase     string          `json:"phase,omitempty"`
+	Done      int             `json:"done"`
+	Total     int             `json:"total"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Error     string          `json:"error,omitempty"`
+	Model     json.RawMessage `json:"model,omitempty"`
+}
+
+// trainJob is one training campaign and its observable state.
+type trainJob struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	phase    core.Phase
+	done     int
+	total    int
+	started  time.Time
+	elapsed  time.Duration // frozen at completion
+	err      string
+	model    []byte // serialized model JSON, set when state == done
+	finished bool
+}
+
+// observe is the Trainer progress callback.
+func (j *trainJob) observe(p core.Progress) {
+	j.mu.Lock()
+	j.phase, j.done, j.total = p.Phase, p.Done, p.Total
+	j.mu.Unlock()
+}
+
+func (j *trainJob) setRunning() {
+	j.mu.Lock()
+	j.state = trainRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records the campaign outcome exactly once.
+func (j *trainJob) finish(model []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return
+	}
+	j.finished = true
+	if !j.started.IsZero() {
+		j.elapsed = time.Since(j.started)
+	}
+	switch {
+	case err == nil:
+		j.state = trainDone
+		j.model = model
+	case errors.Is(err, context.Canceled):
+		j.state = trainCancelled
+	default:
+		j.state = trainFailed
+		j.err = err.Error()
+	}
+}
+
+// status snapshots the job for the wire, including the model only when
+// asked (the list/poll path skips the multi-kilobyte payload).
+func (j *trainJob) status(withModel bool) trainStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := trainStatus{
+		ID:    j.id,
+		State: j.state,
+		Done:  j.done,
+		Total: j.total,
+		Error: j.err,
+	}
+	if j.state != trainQueued {
+		st.Phase = j.phase.String()
+	}
+	switch {
+	case j.finished:
+		st.ElapsedMS = j.elapsed.Milliseconds()
+	case !j.started.IsZero():
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	}
+	if withModel && j.state == trainDone {
+		st.Model = json.RawMessage(j.model)
+	}
+	return st
+}
+
+// trainRegistry owns every training job of one server: submission,
+// lookup, the run-concurrency semaphore, the shared measurement cache,
+// and drain-time cancellation.
+type trainRegistry struct {
+	sem   chan struct{}
+	cache *core.MeasurementCache
+	met   *metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*trainJob
+	order  []string // insertion order, for bounded eviction
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newTrainRegistry(concurrent int, met *metrics) *trainRegistry {
+	return &trainRegistry{
+		sem:   make(chan struct{}, concurrent),
+		cache: core.NewMeasurementCache(),
+		met:   met,
+		jobs:  map[string]*trainJob{},
+	}
+}
+
+// maxTrainRecords bounds the registry; above it, submission evicts the
+// oldest finished job or sheds the request.
+const maxTrainRecords = 64
+
+// submit registers a campaign and starts its runner goroutine. The
+// returned error is nil, errQueueFull (registry full of live jobs) or
+// errDraining.
+func (tr *trainRegistry) submit(opts core.TrainOptions, devOpts device.Options) (*trainJob, error) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if tr.closed {
+		return nil, errDraining
+	}
+	if len(tr.jobs) >= maxTrainRecords && !tr.evictLocked() {
+		return nil, errQueueFull
+	}
+	tr.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &trainJob{id: fmt.Sprintf("train-%d", tr.nextID), cancel: cancel, state: trainQueued}
+	opts.Progress = j.observe
+	opts.Cache = tr.cache
+	tr.jobs[j.id] = j
+	tr.order = append(tr.order, j.id)
+	tr.met.trainsSubmitted.Add(1)
+	tr.met.trainsActive.Add(1)
+	tr.wg.Add(1)
+	go tr.run(ctx, j, opts, devOpts)
+	return j, nil
+}
+
+// evictLocked drops the oldest finished job; it reports whether a slot
+// was freed. Callers hold tr.mu.
+func (tr *trainRegistry) evictLocked() bool {
+	for i, id := range tr.order {
+		j := tr.jobs[id]
+		j.mu.Lock()
+		finished := j.finished
+		j.mu.Unlock()
+		if finished {
+			delete(tr.jobs, id)
+			tr.order = append(tr.order[:i], tr.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get looks a job up by ID.
+func (tr *trainRegistry) get(id string) *trainJob {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.jobs[id]
+}
+
+// run executes one campaign: wait for a concurrency slot, build the
+// device and trainer, and record the outcome on the job.
+func (tr *trainRegistry) run(ctx context.Context, j *trainJob, opts core.TrainOptions, devOpts device.Options) {
+	defer tr.wg.Done()
+	defer tr.met.trainsActive.Add(-1)
+	finish := func(model []byte, err error) {
+		j.finish(model, err)
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case trainDone:
+			tr.met.trainsDone.Add(1)
+		case trainCancelled:
+			tr.met.trainsCancelled.Add(1)
+		default:
+			tr.met.trainsFailed.Add(1)
+		}
+	}
+
+	select {
+	case tr.sem <- struct{}{}:
+		defer func() { <-tr.sem }()
+	case <-ctx.Done():
+		finish(nil, ctx.Err())
+		return
+	}
+	j.setRunning()
+	dev, err := device.New(devOpts)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	t, err := core.NewTrainer(dev, opts)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	m, err := t.Run(ctx)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		finish(nil, err)
+		return
+	}
+	finish(buf.Bytes(), nil)
+}
+
+// drain cancels every live campaign and waits for all runner goroutines
+// to exit. Safe to call more than once.
+func (tr *trainRegistry) drain() {
+	tr.mu.Lock()
+	tr.closed = true
+	for _, j := range tr.jobs {
+		j.cancel()
+	}
+	tr.mu.Unlock()
+	tr.wg.Wait()
+}
+
+// cacheStats exposes the shared measurement cache for /varz.
+func (tr *trainRegistry) cacheStats() core.CacheStats { return tr.cache.Stats() }
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleTrainSubmit(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if req.Seed < 0 || req.Runs < 0 || req.InstancesPerCluster < 0 ||
+		req.MixedPrograms < 0 || req.MixedLength < 0 || req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "campaign fields must be non-negative")
+		return
+	}
+	if req.Runs > s.cfg.MaxTrainRuns {
+		writeError(w, http.StatusBadRequest, "runs %d exceeds limit %d", req.Runs, s.cfg.MaxTrainRuns)
+		return
+	}
+	if req.InstancesPerCluster > 500 || req.MixedPrograms > 64 || req.MixedLength > 20000 {
+		writeError(w, http.StatusBadRequest, "campaign size exceeds limits (instances <= 500, mixed programs <= 64, mixed length <= 20000)")
+		return
+	}
+
+	opts := core.TrainOptions{
+		Seed:                req.Seed,
+		Runs:                req.Runs,
+		InstancesPerCluster: req.InstancesPerCluster,
+		MixedPrograms:       req.MixedPrograms,
+		MixedLength:         req.MixedLength,
+		Workers:             req.Workers,
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.TrainWorkers
+	}
+	devOpts := device.DefaultOptions()
+	devOpts.CPU = s.cfg.CPU
+	if req.TechSeed != 0 {
+		devOpts.TechSeed = req.TechSeed
+	}
+	if req.NoiseSeed != 0 {
+		devOpts.NoiseSeed = req.NoiseSeed
+	}
+
+	j, err := s.trains.submit(opts, devOpts)
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleTrainStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.trains.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such training job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleTrainCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.trains.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such training job")
+		return
+	}
+	// Cancellation is asynchronous: the campaign unwinds within one
+	// capture per in-flight worker; poll the status for "cancelled".
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}

@@ -155,10 +155,14 @@ type StepwiseOptions struct {
 // prunes the transition-bit vector T by more than 65% without losing
 // accuracy.
 //
-// The implementation keeps an orthonormal basis of the selected columns
-// (plus the intercept), so evaluating a candidate costs O(n·k) instead of
-// a full refit; the scores are exactly the OLS residual-sum-of-squares
-// reductions.
+// The implementation keeps every candidate column residualized against
+// the selected set (incremental modified Gram-Schmidt): when a column
+// enters the model, each remaining candidate is orthogonalized against
+// it once, so a full selection pass costs O(n·p·k) rather than the
+// O(n·p·k²) of re-orthogonalizing every candidate from scratch at every
+// step. The scores are exactly the OLS residual-sum-of-squares
+// reductions, and ties break toward the lowest column index, so the
+// selection is deterministic.
 func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*StepwiseResult, error) {
 	n := len(x)
 	if n == 0 || n != len(y) {
@@ -178,9 +182,24 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 		fScale = 1
 	}
 
-	// Column-major copy of the candidates.
-	cols := make([][]float64, p)
-	colNorm2 := make([]float64, p)
+	// The intercept is the first basis direction; the residual r tracks y
+	// minus its projection onto the model so far, and vc[c] tracks each
+	// candidate column minus its projection onto the same span. Both are
+	// updated in place as columns enter the model.
+	q0 := 1 / math.Sqrt(float64(n))
+	r := append([]float64(nil), y...)
+	g0 := 0.0
+	for _, v := range r {
+		g0 += v * q0
+	}
+	for i := range r {
+		r[i] -= g0 * q0
+	}
+	rssCur := linalg.Dot(r, r)
+
+	colNorm2 := make([]float64, p) // original norms, the collinearity yardstick
+	vc := make([][]float64, p)
+	vcNorm2 := make([]float64, p)
 	for c := 0; c < p; c++ {
 		v := make([]float64, n)
 		for i, row := range x {
@@ -189,34 +208,16 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 			}
 			v[i] = row[c]
 		}
-		cols[c] = v
 		colNorm2[c] = linalg.Dot(v, v)
-	}
-
-	// Orthonormal basis Q starts with the (normalized) intercept; the
-	// residual r tracks y minus its projection onto span(Q).
-	basis := [][]float64{}
-	q0 := make([]float64, n)
-	for i := range q0 {
-		q0[i] = 1 / math.Sqrt(float64(n))
-	}
-	basis = append(basis, q0)
-	r := append([]float64(nil), y...)
-	g0 := linalg.Dot(q0, r)
-	for i := range r {
-		r[i] -= g0 * q0[i]
-	}
-	rssCur := linalg.Dot(r, r)
-
-	orthogonalize := func(c int) ([]float64, float64) {
-		v := append([]float64(nil), cols[c]...)
-		for _, q := range basis {
-			g := linalg.Dot(q, v)
-			for i := range v {
-				v[i] -= g * q[i]
-			}
+		g := 0.0
+		for _, e := range v {
+			g += e * q0
 		}
-		return v, linalg.Dot(v, v)
+		for i := range v {
+			v[i] -= g * q0
+		}
+		vc[c] = v
+		vcNorm2[c] = linalg.Dot(v, v)
 	}
 
 	selected := []int{}
@@ -228,23 +229,19 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 		}
 		crit := fCriticalApprox(df2) * fScale
 		bestCol, bestDelta := -1, 0.0
-		var bestVec []float64
-		var bestNorm2 float64
 		for c := 0; c < p; c++ {
 			if inModel[c] {
 				continue
 			}
-			v, nv2 := orthogonalize(c)
-			// nv2 is a sum of squares, so nv2 <= 0 only when it is exactly
+			// vcNorm2 is a sum of squares, so it is <= 0 only when exactly
 			// zero — the tolerance test alone covers the all-zero column.
-			if nv2 <= 1e-12*colNorm2[c] {
+			if vcNorm2[c] <= 1e-12*colNorm2[c] {
 				continue // (near-)collinear with the current model
 			}
-			g := linalg.Dot(v, r)
-			delta := g * g / nv2
+			g := linalg.Dot(vc[c], r)
+			delta := g * g / vcNorm2[c]
 			if delta > bestDelta {
 				bestCol, bestDelta = c, delta
-				bestVec, bestNorm2 = v, nv2
 			}
 		}
 		if bestCol < 0 {
@@ -261,18 +258,32 @@ func StepwiseRegression(x [][]float64, y []float64, opts StepwiseOptions) (*Step
 		}
 		selected = append(selected, bestCol)
 		inModel[bestCol] = true
-		inv := 1 / math.Sqrt(bestNorm2)
-		for i := range bestVec {
-			bestVec[i] *= inv
+		// The winner, normalized, is the next basis direction; fold it out
+		// of the residual and every remaining candidate (modified
+		// Gram-Schmidt step), then refresh the candidate norms.
+		q := vc[bestCol]
+		inv := 1 / math.Sqrt(vcNorm2[bestCol])
+		for i := range q {
+			q[i] *= inv
 		}
-		basis = append(basis, bestVec)
-		g := linalg.Dot(bestVec, r)
+		g := linalg.Dot(q, r)
 		for i := range r {
-			r[i] -= g * bestVec[i]
+			r[i] -= g * q[i]
 		}
 		rssCur -= bestDelta
 		if rssCur < 0 {
 			rssCur = 0
+		}
+		for c := 0; c < p; c++ {
+			if inModel[c] || vcNorm2[c] <= 1e-12*colNorm2[c] {
+				continue
+			}
+			v := vc[c]
+			gc := linalg.Dot(q, v)
+			for i := range v {
+				v[i] -= gc * q[i]
+			}
+			vcNorm2[c] = linalg.Dot(v, v)
 		}
 	}
 

@@ -43,6 +43,33 @@ echo "== simulate (words) + varz"
 curl -fsS -X POST -d '{"words":[1048723,1048691],"omit_signal":true}' "$BASE/v1/simulate" >/dev/null || true
 curl -fsS "$BASE/varz" | grep -q '"cycles_simulated"' || { echo "varz missing metrics" >&2; exit 1; }
 
+echo "== train job lifecycle (submit, poll to done)"
+TRAIN='{"seed":7,"runs":2,"instances_per_cluster":6,"mixed_programs":1,"mixed_length":120}'
+RESP=$(curl -fsS -X POST -d "$TRAIN" "$BASE/v1/train")
+JOB=$(echo "$RESP" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "no job_id in submit response: $RESP" >&2; exit 1; }
+STATE=""
+for i in $(seq 1 240); do
+  RESP=$(curl -fsS "$BASE/v1/train/$JOB")
+  STATE=$(echo "$RESP" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$STATE" in queued|running) sleep 0.5 ;; *) break ;; esac
+done
+[ "$STATE" = "done" ] || { echo "training job ended in state '$STATE': $RESP" >&2; exit 1; }
+echo "$RESP" | grep -q '"model":' || { echo "done job carries no model: $RESP" >&2; exit 1; }
+
+echo "== train job cancellation"
+RESP=$(curl -fsS -X POST -d '{"runs":150,"instances_per_cluster":200}' "$BASE/v1/train")
+JOB=$(echo "$RESP" | sed -n 's/.*"job_id":"\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "no job_id in submit response: $RESP" >&2; exit 1; }
+curl -fsS -X DELETE "$BASE/v1/train/$JOB" >/dev/null
+STATE=""
+for i in $(seq 1 60); do
+  STATE=$(curl -fsS "$BASE/v1/train/$JOB" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+  case "$STATE" in queued|running) sleep 0.5 ;; *) break ;; esac
+done
+[ "$STATE" = "cancelled" ] || { echo "cancelled job reports state '$STATE'" >&2; exit 1; }
+curl -fsS "$BASE/varz" | grep -q '"trains_cancelled": 1' || { echo "varz missing train metrics" >&2; exit 1; }
+
 echo "== validation statuses"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"asm": "nop"' "$BASE/v1/simulate")
 [ "$CODE" = "400" ] || { echo "malformed JSON returned $CODE, want 400" >&2; exit 1; }
