@@ -11,6 +11,9 @@
 //	POST   /v1/train       {"seed": N, "runs": N, ...} -> async job, 202 + job_id
 //	GET    /v1/train/{id}  phase-level progress; the model once done
 //	DELETE /v1/train/{id}  cancel a running campaign
+//	POST   /v1/defend      {"defense": "shuffle", ...} -> async job, 202 + job_id
+//	GET    /v1/defend/{id} per-arm trace progress; the security report once done
+//	DELETE /v1/defend/{id} cancel a running evaluation
 //	GET    /healthz        liveness (503 while draining)
 //	GET    /varz           queue depth, in-flight, cycles, latency percentiles,
 //	                       training job counters and measurement-cache stats
@@ -56,6 +59,9 @@ func main() {
 		trainJobs = flag.Int("train-jobs", 1, "concurrent /v1/train campaigns (excess jobs queue)")
 		trainWkrs = flag.Int("train-workers", 0, "measurement fan-out per training campaign (0 = GOMAXPROCS)")
 		trainRuns = flag.Int("train-runs", 200, "largest accepted runs field of a /v1/train request")
+		defJobs   = flag.Int("defend-jobs", 1, "concurrent /v1/defend campaigns (excess jobs queue)")
+		defWkrs   = flag.Int("defend-workers", 0, "simulation fan-out per defense evaluation (0 = GOMAXPROCS)")
+		defTraces = flag.Int("defend-traces", 4096, "largest accepted trace budget of a /v1/defend request")
 	)
 	flag.Parse()
 
@@ -73,6 +79,9 @@ func main() {
 		MaxTrainJobs:    *trainJobs,
 		TrainWorkers:    *trainWkrs,
 		MaxTrainRuns:    *trainRuns,
+		MaxDefendJobs:   *defJobs,
+		DefendWorkers:   *defWkrs,
+		MaxDefendTraces: *defTraces,
 	}
 	cfg.CPU = emsim.DefaultCPUConfig()
 	if *maxCycles > 0 {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	emsim [-csv signal.csv] [-trace] [-runs N] [prog.s]
+//	emsim [-csv signal.csv] [-trace] [-runs N] [-defense spec] [prog.s]
 //
 // Without an argument a built-in demo program runs. The CSV (one line per
 // sample: time-in-cycles, measured, simulated) can be plotted with any
@@ -22,6 +22,7 @@ import (
 	"emsim/internal/asm"
 	"emsim/internal/core"
 	"emsim/internal/cpu"
+	"emsim/internal/defend"
 	"emsim/internal/device"
 )
 
@@ -52,6 +53,7 @@ func main() {
 	modelPath := flag.String("model", "", "cache the trained model in this file (loaded if it exists)")
 	progress := flag.Bool("progress", false, "report per-phase training progress on stderr")
 	trainWorkers := flag.Int("train-workers", 0, "training measurement workers (0 = GOMAXPROCS)")
+	defense := flag.String("defense", "", "run the program under a countermeasure, name[:param=val,...] (shuffle, dummy, jitter)")
 	flag.Parse()
 
 	src := demoProgram
@@ -123,6 +125,12 @@ func main() {
 	fmt.Printf("simulated-vs-measured accuracy: %.1f%% (paper reports 94.1%% on its benchmark)\n",
 		100*cmp.Accuracy)
 
+	if *defense != "" {
+		if err := reportDefended(dev.Options().CPU, prog.Words, *defense, uint64(*seed), st); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *repeat > 0 {
 		if err := reportThroughput(model, dev.Options().CPU, prog.Words, *repeat); err != nil {
 			fatal(err)
@@ -140,6 +148,36 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d samples to %s\n", len(cmp.Measured), *csvPath)
 	}
+}
+
+// reportDefended re-runs the program under a countermeasure (armed with
+// the campaign seed) and prints the defended execution profile next to
+// the baseline.
+func reportDefended(cfg cpu.Config, words []uint32, spec string, seed uint64, base cpu.Stats) error {
+	sp, err := defend.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	cm, err := sp.New()
+	if err != nil {
+		return err
+	}
+	armed, err := cm.Arm(words, seed)
+	if err != nil {
+		return err
+	}
+	c, err := cpu.New(cfg)
+	if err != nil {
+		return err
+	}
+	c.SetFetchInjector(armed.Injector)
+	if _, err := c.RunProgram(armed.Words); err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("defense %s: %d cycles (overhead %+.1f%%), IPC %.2f, %d injected fetch slots\n",
+		sp, st.Cycles, 100*(float64(st.Cycles)/float64(base.Cycles)-1), st.IPC(), st.Injected)
+	return nil
 }
 
 // printProgress streams training-phase progress to stderr: one line when

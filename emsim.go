@@ -59,16 +59,19 @@
 //   - internal/core — the EMSim model: training, simulation, ablations
 //   - internal/leakage — TVLA and SAVAT leakage metrics
 //   - internal/aes — AES-128 in RV32IM assembly (the TVLA workload)
+//   - internal/defend — pluggable countermeasures and their evaluation
 //   - internal/experiments — one harness per paper table/figure
 package emsim
 
 import (
+	"context"
 	"math/rand"
 
 	"emsim/internal/aes"
 	"emsim/internal/asm"
 	"emsim/internal/core"
 	"emsim/internal/cpu"
+	"emsim/internal/defend"
 	"emsim/internal/device"
 	"emsim/internal/experiments"
 	"emsim/internal/isa"
@@ -252,6 +255,43 @@ func BuildAES(key, plaintext [16]byte) (*AESProgram, error) {
 // TVLA runs the fixed-vs-random t-test protocol over a trace source.
 func TVLA(src TraceSource, fixed [16]byte, rng *rand.Rand, tracesPerGroup int) (*TVLAResult, error) {
 	return leakage.TVLA(src, fixed, rng, tracesPerGroup)
+}
+
+// Countermeasure modeling and evaluation.
+type (
+	// Countermeasure is a pluggable microarchitectural defense; see
+	// internal/defend for the built-in implementations (instruction
+	// shuffling, dummy insertion, pipeline jitter).
+	Countermeasure = defend.Countermeasure
+
+	// DefenseSpec names a countermeasure and its parameters; parse one
+	// from "name[:param=val,...]" with ParseDefenseSpec.
+	DefenseSpec = defend.Spec
+
+	// DefendedSession simulates traces under an armed countermeasure.
+	DefendedSession = defend.Session
+
+	// DefendOptions configures an Evaluate campaign.
+	DefendOptions = defend.Options
+
+	// SecurityReport compares defended execution against baseline.
+	SecurityReport = defend.SecurityReport
+)
+
+// ParseDefenseSpec parses "name[:param=val,...]" into a validated
+// countermeasure spec.
+func ParseDefenseSpec(s string) (DefenseSpec, error) { return defend.ParseSpec(s) }
+
+// NewDefendedSession builds a simulation session that arms cm per trace;
+// a nil countermeasure yields a baseline session.
+func NewDefendedSession(m *Model, cfg CPUConfig, cm Countermeasure, seed int64) (*DefendedSession, error) {
+	return defend.NewSession(m, cfg, cm, seed)
+}
+
+// EvaluateDefense runs the TVLA + CPA attack campaigns against baseline
+// and defended AES execution and reports security gained vs cycles lost.
+func EvaluateDefense(ctx context.Context, opts DefendOptions) (*SecurityReport, error) {
+	return defend.Evaluate(ctx, opts)
 }
 
 // The Table II instruction events for SAVAT.

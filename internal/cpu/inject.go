@@ -1,0 +1,56 @@
+package cpu
+
+import "emsim/internal/isa"
+
+// InjectKind selects what a FetchInjector asks the fetch stage to do in
+// one fetch slot.
+type InjectKind uint8
+
+const (
+	// InjectNone lets the normal fetch proceed.
+	InjectNone InjectKind = iota
+	// InjectBubble holds the PC and clock-gates the IF/ID latch for one
+	// cycle, sending a bubble down the pipe instead of a fetch — a
+	// randomized stall, as inserted by jitter-style countermeasures.
+	InjectBubble
+	// InjectInst holds the PC and feeds the supplied instruction into the
+	// decode stage as if it had been fetched — a dummy instruction, as
+	// inserted by insertion-style countermeasures.
+	InjectInst
+)
+
+// Injection is a FetchInjector's decision for one fetch slot. For
+// InjectInst, Inst is the decoded instruction and Word its encoding (the
+// value the IF/ID latch carries, so the EM trace sees realistic latch
+// activity).
+type Injection struct {
+	Kind InjectKind
+	Inst isa.Inst
+	Word uint32
+}
+
+// A FetchInjector intercepts the fetch stage on cycles where the decode
+// stage can accept a new instruction, modeling hardware countermeasures
+// that perturb the instruction stream without touching the program image.
+// Inject is consulted once per accepting fetch slot with the current
+// cycle number and fetch PC; returning the zero Injection lets the real
+// fetch proceed.
+//
+// Contract: an injected instruction must be architecturally inert or
+// side-effect-free for the program under test — in practice a plain ALU
+// operation writing x0. Control flow (branches, jumps), memory stores and
+// system instructions must not be injected; the pipeline does not
+// arbitrate a redirect or memory write against the held real stream.
+// Injectors run on the simulation hot path: implementations must be
+// allocation-free and must not retain pointers handed to them. An
+// injector is owned by a single core; it is reset/re-seeded by whoever
+// installed it, not by CPU.Reset.
+type FetchInjector interface {
+	Inject(cycle int, pc uint32) Injection
+}
+
+// SetFetchInjector installs (or, with nil, removes) the fetch-slot
+// injector. The injector survives Reset/ResetCore so a defended program
+// can be re-run; callers that want a fresh randomization per run re-seed
+// or replace the injector between runs.
+func (c *CPU) SetFetchInjector(f FetchInjector) { c.inj = f }

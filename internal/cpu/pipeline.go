@@ -65,6 +65,7 @@ type Stats struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	Mispredicts uint64 // branch and jump redirects
+	Injected    int    // fetch slots taken by an installed FetchInjector
 }
 
 // IPC returns retired instructions per cycle.
@@ -82,6 +83,7 @@ type CPU struct {
 	mem   *mem.Memory
 	cache *mem.Cache
 	bp    *bpred.Unit
+	inj   FetchInjector // optional fetch-slot countermeasure hook
 
 	regs [isa.NumRegs]uint32
 	pc   uint32
@@ -98,6 +100,7 @@ type CPU struct {
 	bubbles     int
 	stalls      int
 	flushes     int
+	injected    int
 	mispredicts uint64
 
 	// scratch is the cycle record reused by the streaming run loop so a
@@ -177,6 +180,7 @@ func (c *CPU) resetPipeline() {
 	c.bubbles = 0
 	c.stalls = 0
 	c.flushes = 0
+	c.injected = 0
 	c.mispredicts = 0
 }
 
@@ -209,6 +213,7 @@ func (c *CPU) Stats() Stats {
 		CacheHits:   hits,
 		CacheMisses: misses,
 		Mispredicts: c.mispredicts,
+		Injected:    c.injected,
 	}
 }
 
@@ -575,7 +580,32 @@ func (c *CPU) StepInto(rec *Cycle) error {
 	var fetched slot
 	{
 		tr := &rec.Stages[IF]
-		if idVacates {
+		injKind := InjectNone
+		var injection Injection
+		if idVacates && c.inj != nil {
+			//emsim:ignore noalloc dynamic dispatch by design; every in-tree injector is itself annotated noalloc
+			injection = c.inj.Inject(c.cycle, c.pc)
+			injKind = injection.Kind
+		}
+		switch {
+		case injKind == InjectBubble:
+			// A countermeasure stall: the fetch bus is clock-gated for one
+			// cycle, the PC holds, the IF latch keeps its value (no
+			// transitions) and a bubble enters decode.
+			fetched = bubbleSlot()
+			fillStage(tr, &fetched, false)
+			c.injected++
+		case injKind == InjectInst:
+			// A countermeasure dummy: the supplied instruction enters
+			// decode as if fetched from c.pc, the PC holds, and the real
+			// instruction stream resumes next accepting cycle.
+			fetched = slot{pc: c.pc, word: injection.Word, seq: c.seq, inst: injection.Inst}
+			fetched.predNext = c.pc
+			c.seq++
+			c.injected++
+			fillStage(tr, &fetched, false)
+			c.lat[IF] = [MaxLatchWords]uint32{fetched.pc, fetched.word, 0}
+		case idVacates:
 			word := c.mem.ReadWord(c.pc)
 			fetched = slot{pc: c.pc, word: word, seq: c.seq}
 			in, ok := isa.TryDecode(word)
@@ -602,7 +632,7 @@ func (c *CPU) StepInto(rec *Cycle) error {
 			c.pc = next
 			fillStage(tr, &fetched, false)
 			c.lat[IF] = [MaxLatchWords]uint32{fetched.pc, fetched.word, 0}
-		} else {
+		default:
 			// Frozen: the fetch bus still presents pc's word, but nothing
 			// latches. Record what sits on the bus for the trace.
 			tr.Stalled = true

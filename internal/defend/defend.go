@@ -1,0 +1,174 @@
+// Package defend models microarchitectural side-channel countermeasures
+// and evaluates what they buy. EMSim's stated purpose is to let designers
+// assess EM leakage before silicon; this package closes the loop — apply
+// a candidate defense inside the simulated pipeline, re-run the leakage
+// attacks (TVLA, CPA) against the defended execution, and quantify
+// security gained versus cycles lost.
+//
+// A Countermeasure arms itself for one run: given the program image and a
+// per-run randomization seed it returns the (possibly transformed) image
+// to execute plus an optional cpu.FetchInjector that perturbs the fetch
+// stream while the run is in flight. Three defenses ship in-tree:
+//
+//   - shuffle: static dataflow-safe reordering of independent
+//     instructions within small windows, in the spirit of ShuffleV —
+//     each run executes a differently-permuted but architecturally
+//     equivalent image, decorrelating cycle position from operation.
+//   - dummy: random architecturally-inert instructions (ALU ops writing
+//     x0) injected into fetch slots at a configurable rate.
+//   - jitter: randomized pipeline stall bubbles whose probability is
+//     redrawn per region of cycles, desynchronizing traces.
+//
+// All three are deterministic functions of (program, seed): repeated runs
+// with one seed are byte-identical, which keeps campaigns reproducible
+// and lets Evaluate fan attack workloads across workers without losing
+// replayability. A Countermeasure instance reuses internal scratch
+// buffers and is not safe for concurrent use — build one per worker via
+// Spec.New.
+package defend
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"emsim/internal/cpu"
+)
+
+// Armed is a Countermeasure's output for one run: the image to execute
+// and an optional fetch-slot injector to install for its duration.
+// Words may alias the input image (injector-only defenses) or a buffer
+// owned by the countermeasure that is invalidated by its next Arm call.
+type Armed struct {
+	Words    []uint32
+	Injector cpu.FetchInjector
+}
+
+// A Countermeasure prepares one defended run. Arm must be deterministic
+// in (words, seed) and must preserve the program's architectural
+// semantics: same final register file and memory state, different
+// microarchitectural (and therefore EM) behavior.
+type Countermeasure interface {
+	Name() string
+	Arm(words []uint32, seed uint64) (Armed, error)
+}
+
+// Spec names a countermeasure and its parameters — the parsed form of
+// the CLI/API syntax "name:param=val,param=val". The zero Spec (empty
+// Name) means "no defense".
+type Spec struct {
+	Name   string
+	Params map[string]float64
+}
+
+// ParseSpec parses "name[:param=val,...]" and validates it by building
+// the countermeasure once.
+func ParseSpec(s string) (Spec, error) {
+	name, rest, hasParams := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Spec{}, fmt.Errorf("defend: empty countermeasure name in %q", s)
+	}
+	sp := Spec{Name: name}
+	if hasParams {
+		sp.Params = make(map[string]float64)
+		for _, kv := range strings.Split(rest, ",") {
+			k, v, ok := strings.Cut(kv, "=")
+			k = strings.TrimSpace(k)
+			if !ok || k == "" {
+				return Spec{}, fmt.Errorf("defend: malformed parameter %q (want param=val)", kv)
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("defend: parameter %s: %v", k, err)
+			}
+			sp.Params[k] = f
+		}
+	}
+	if _, err := sp.New(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// String renders the spec in its parseable form with parameters in
+// sorted order.
+func (s Spec) String() string {
+	if len(s.Params) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Params))
+	//emsim:ignore determinism keys are sorted before use
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(s.Params[k], 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// New builds a fresh instance of the named countermeasure. Instances own
+// scratch state; every concurrent worker needs its own.
+func (s Spec) New() (Countermeasure, error) {
+	p := specParams{m: s.Params, used: make(map[string]bool)}
+	var (
+		cm  Countermeasure
+		err error
+	)
+	switch s.Name {
+	case "shuffle":
+		cm, err = NewShuffle(int(p.get("window", defaultShuffleWindow)))
+	case "dummy":
+		cm, err = NewDummy(p.get("rate", defaultDummyRate))
+	case "jitter":
+		cm, err = NewJitter(p.get("rate", defaultJitterRate), int(p.get("region", defaultJitterRegion)))
+	default:
+		return nil, fmt.Errorf("defend: unknown countermeasure %q (have shuffle, dummy, jitter)", s.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if unknown := p.unknown(); len(unknown) > 0 {
+		return nil, fmt.Errorf("defend: %s: unknown parameter(s): %s", s.Name, strings.Join(unknown, ", "))
+	}
+	return cm, nil
+}
+
+// specParams tracks which parameter keys a constructor consumed so New
+// can reject typos instead of silently ignoring them.
+type specParams struct {
+	m    map[string]float64
+	used map[string]bool
+}
+
+func (p *specParams) get(key string, def float64) float64 {
+	p.used[key] = true
+	if v, ok := p.m[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (p *specParams) unknown() []string {
+	var out []string
+	//emsim:ignore determinism result is sorted before use
+	for k := range p.m {
+		if !p.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

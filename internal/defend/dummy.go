@@ -1,0 +1,84 @@
+package defend
+
+import (
+	"fmt"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+// Dummy injects architecturally-inert instructions into random fetch
+// slots: with probability rate, a fetch slot is taken by a random ALU
+// operation writing x0 (random opcode, source registers and immediate)
+// while the PC holds, so the real instruction stream is delayed and
+// interleaved with decoy activity. The injected instructions read live
+// registers and drive the pipeline latches like real work, adding both
+// amplitude noise and misalignment to the EM trace at a cycle cost of
+// roughly rate/(1-rate).
+type Dummy struct {
+	rate float64
+	inj  dummyInjector
+}
+
+const defaultDummyRate = 0.15
+
+// NewDummy builds a dummy-insertion countermeasure injecting at the
+// given per-fetch-slot probability (0 < rate <= 0.9).
+func NewDummy(rate float64) (*Dummy, error) {
+	if !(rate > 0 && rate <= 0.9) {
+		return nil, fmt.Errorf("defend: dummy rate %g out of range (0, 0.9]", rate)
+	}
+	return &Dummy{rate: rate}, nil
+}
+
+// Name implements Countermeasure.
+func (d *Dummy) Name() string { return "dummy" }
+
+// Arm re-seeds the injector for one run; the image is unchanged.
+func (d *Dummy) Arm(words []uint32, seed uint64) (Armed, error) {
+	d.inj.reset(seed, d.rate)
+	return Armed{Words: words, Injector: &d.inj}, nil
+}
+
+// dummyPoolSize is the number of pre-encoded decoy instructions drawn
+// per run. Generating the pool at Arm time keeps isa.Encode off the
+// per-cycle hot path; 64 distinct decoys picked uniformly per injection
+// is plenty of variety within a trace.
+const dummyPoolSize = 64
+
+type dummyInjector struct {
+	rng       prng
+	threshold uint64 // rate scaled to the full uint64 range
+	pool      [dummyPoolSize]cpu.Injection
+}
+
+// dummyOps are the decoy opcodes: single-cycle ALU operations only, so
+// an injected instruction can never redirect control flow, touch memory
+// or occupy EX for multiple cycles.
+var dummyOps = [...]isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.OR, isa.AND, isa.ADDI, isa.XORI, isa.ORI, isa.ANDI, isa.SLTI}
+
+func (d *dummyInjector) reset(seed uint64, rate float64) {
+	d.rng = newPRNG(seed)
+	d.threshold = uint64(rate * float64(1<<32) * float64(1<<32))
+	for i := range d.pool {
+		op := dummyOps[d.rng.intn(len(dummyOps))]
+		in := isa.Inst{Op: op, Rd: isa.Zero, Rs1: isa.Reg(d.rng.intn(isa.NumRegs))}
+		if op.Format() == isa.FormatR {
+			in.Rs2 = isa.Reg(d.rng.intn(isa.NumRegs))
+		} else {
+			// Random sign-extended 12-bit immediate.
+			in.Imm = int32(d.rng.next()&0xFFF) << 20 >> 20
+		}
+		d.pool[i] = cpu.Injection{Kind: cpu.InjectInst, Inst: in, Word: isa.MustEncode(in)}
+	}
+}
+
+// Inject implements cpu.FetchInjector.
+//
+//emsim:noalloc
+func (d *dummyInjector) Inject(cycle int, pc uint32) cpu.Injection {
+	if d.rng.next() >= d.threshold {
+		return cpu.Injection{}
+	}
+	return d.pool[d.rng.intn(dummyPoolSize)]
+}

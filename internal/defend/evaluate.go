@@ -1,0 +1,546 @@
+package defend
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"emsim/internal/aes"
+	"emsim/internal/core"
+	"emsim/internal/cpu"
+	"emsim/internal/leakage"
+	"emsim/internal/stats"
+)
+
+// Default secrets of the evaluation workload: the FIPS-197 example key
+// and a distinctive fixed plaintext for the TVLA fixed group.
+var (
+	DefaultKey = [16]byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+	DefaultFixed = [16]byte{
+		0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+		0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff,
+	}
+)
+
+// Options configures an Evaluate campaign. The zero value of Key/Fixed
+// selects the package defaults; zero numeric fields select the
+// documented defaults.
+type Options struct {
+	Model   *core.Model // trained EM model (required)
+	CPU     cpu.Config  // core configuration (zero value = defaults)
+	Defense Spec        // countermeasure under evaluation (required)
+
+	Key   [16]byte // AES key the attacks try to recover
+	Fixed [16]byte // TVLA fixed-group plaintext
+
+	Seed    int64 // campaign randomization seed
+	Workers int   // simulation fan-out (<= 0: GOMAXPROCS)
+
+	TVLATraces int // TVLA traces per group (default 64, min 4)
+	CPATraces  int // CPA trace budget (default 512, min 12)
+	CPAStep    int // key-rank curve grid step (default 64, min 4)
+	CPAPoints  int // top-variance points-of-interest columns (0 = attack every column)
+
+	// NoiseStd is the additive measurement-noise sigma applied to every
+	// simulated signal (default 0.02). It must be positive: a noiseless
+	// fixed TVLA group has zero variance and an infinite t statistic.
+	NoiseStd float64
+
+	// Progress, when non-nil, is called after each simulated trace of an
+	// arm's campaign ("baseline" or the defense spec string).
+	Progress func(arm string, done, total int)
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Model == nil {
+		return o, fmt.Errorf("defend: Evaluate needs a trained model")
+	}
+	if o.Defense.Name == "" {
+		return o, fmt.Errorf("defend: Evaluate needs a defense spec")
+	}
+	if _, err := o.Defense.New(); err != nil {
+		return o, err
+	}
+	if o.CPU == (cpu.Config{}) {
+		o.CPU = cpu.DefaultConfig()
+	}
+	if o.Key == ([16]byte{}) {
+		o.Key = DefaultKey
+	}
+	if o.Fixed == ([16]byte{}) {
+		o.Fixed = DefaultFixed
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.TVLATraces == 0 {
+		o.TVLATraces = 64
+	}
+	if o.TVLATraces < 4 {
+		return o, fmt.Errorf("defend: TVLATraces %d; need >= 4 per group", o.TVLATraces)
+	}
+	if o.CPATraces == 0 {
+		o.CPATraces = 512
+	}
+	if o.CPATraces < 12 {
+		return o, fmt.Errorf("defend: CPATraces %d; need >= 12", o.CPATraces)
+	}
+	if o.CPAStep == 0 {
+		o.CPAStep = 64
+	}
+	if o.CPAStep < 4 {
+		return o, fmt.Errorf("defend: CPAStep %d; need >= 4", o.CPAStep)
+	}
+	if o.CPAStep > o.CPATraces {
+		o.CPAStep = o.CPATraces
+	}
+	if o.CPAPoints < 0 {
+		return o, fmt.Errorf("defend: CPAPoints %d; need >= 0 (0 attacks every column)", o.CPAPoints)
+	}
+	if o.NoiseStd == 0 {
+		o.NoiseStd = 0.02
+	}
+	if o.NoiseStd <= 0 {
+		return o, fmt.Errorf("defend: NoiseStd %g; need > 0 (a noiseless fixed group has infinite t)", o.NoiseStd)
+	}
+	return o, nil
+}
+
+// TVLAPoint is one point of the min-traces-to-detection sweep.
+type TVLAPoint struct {
+	Traces  int     `json:"traces"` // traces per group
+	MaxAbsT float64 `json:"max_abs_t"`
+}
+
+// RankPoint is one point of the CPA key-rank curve.
+type RankPoint struct {
+	Traces int     `json:"traces"`
+	Rank   int     `json:"rank"` // 0 = true key byte ranked first
+	Margin float64 `json:"margin"`
+}
+
+// ArmResult is one arm (baseline or defended) of an evaluation.
+type ArmResult struct {
+	Name         string      `json:"name"`
+	MeanCycles   float64     `json:"mean_cycles"`
+	MeanInjected float64     `json:"mean_injected"` // injected fetch slots per trace
+	MaxAbsT      float64     `json:"max_abs_t"`     // at the full TVLA budget
+	LeakyPoints  int         `json:"leaky_points"`  // cycles with |t| > 4.5 at full budget
+	TVLASweep    []TVLAPoint `json:"tvla_sweep"`
+	DetectTraces int         `json:"detect_traces"` // min traces/group with |t|max > 4.5 (0: never)
+	CPARanks     []RankPoint `json:"cpa_ranks"`
+	// DiscloseTraces is the smallest grid point from which the true key
+	// byte ranks first at every subsequent grid point (0: not disclosed
+	// within the budget).
+	DiscloseTraces int `json:"disclose_traces"`
+}
+
+// SecurityReport compares defended execution against baseline.
+type SecurityReport struct {
+	Defense  string    `json:"defense"`
+	Seed     int64     `json:"seed"`
+	Baseline ArmResult `json:"baseline"`
+	Defended ArmResult `json:"defended"`
+
+	// LeakageReduction is 1 - defended/baseline |t|max (1 = leakage
+	// eliminated, 0 = unchanged, negative = made worse).
+	LeakageReduction float64 `json:"leakage_reduction"`
+	// AttackCostMultiplier is defended/baseline CPA traces-to-disclosure.
+	// When the defended arm never discloses within the budget it is
+	// computed against budget+step and CostIsLowerBound is set. Zero when
+	// the baseline attack itself failed.
+	AttackCostMultiplier float64 `json:"attack_cost_multiplier"`
+	CostIsLowerBound     bool    `json:"cost_is_lower_bound"`
+	// CycleOverhead is the relative runtime cost: defended/baseline mean
+	// cycles - 1.
+	CycleOverhead float64 `json:"cycle_overhead"`
+}
+
+// Evaluate runs the full attack campaign — a TVLA fixed-vs-random
+// detection sweep and a CPA key-recovery traces-to-disclosure curve —
+// against both baseline and defended execution of the AES workload, and
+// reports security gained versus cycles lost. The campaign fans trace
+// simulation across opts.Workers workers; all randomization is keyed by
+// (opts.Seed, trace identity), so the report is byte-identical at any
+// worker count.
+func Evaluate(ctx context.Context, opts Options) (*SecurityReport, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	base, err := evaluateArm(ctx, opts, "baseline", Spec{})
+	if err != nil {
+		return nil, err
+	}
+	def, err := evaluateArm(ctx, opts, opts.Defense.String(), opts.Defense)
+	if err != nil {
+		return nil, err
+	}
+	r := &SecurityReport{
+		Defense:  opts.Defense.String(),
+		Seed:     opts.Seed,
+		Baseline: *base,
+		Defended: *def,
+	}
+	if base.MaxAbsT > 0 {
+		r.LeakageReduction = 1 - def.MaxAbsT/base.MaxAbsT
+	}
+	switch {
+	case base.DiscloseTraces == 0:
+		r.AttackCostMultiplier = 0 // baseline attack failed; nothing to multiply
+	case def.DiscloseTraces > 0:
+		r.AttackCostMultiplier = float64(def.DiscloseTraces) / float64(base.DiscloseTraces)
+	default:
+		r.AttackCostMultiplier = float64(opts.CPATraces+opts.CPAStep) / float64(base.DiscloseTraces)
+		r.CostIsLowerBound = true
+	}
+	if base.MeanCycles > 0 {
+		r.CycleOverhead = def.MeanCycles/base.MeanCycles - 1
+	}
+	return r, nil
+}
+
+// evaluateArm runs one arm's full campaign. The result is independent of
+// worker count and goroutine scheduling: every random choice is keyed by
+// trace identity and every reduction runs index-ordered.
+//
+//emsim:ordered
+func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*ArmResult, error) {
+	res := &ArmResult{Name: name}
+	total := opts.CPATraces + 2*opts.TVLATraces
+	done := 0
+	report := func(n int) {
+		done += n
+		if opts.Progress != nil {
+			opts.Progress(name, done, total)
+		}
+	}
+
+	// ---- CPA: simulate the trace population ----
+	progs := make([][]uint32, opts.CPATraces)
+	ptByte := make([]byte, opts.CPATraces)
+	for i := range progs {
+		var pt [16]byte
+		rng := rand.New(rand.NewSource(int64(stream(opts.Seed, lanePlain, int64(i)))))
+		for b := range pt {
+			pt[b] = byte(rng.Intn(256))
+		}
+		prog, err := aes.BuildProgram(opts.Key, pt)
+		if err != nil {
+			return nil, fmt.Errorf("defend: build CPA program %d: %w", i, err)
+		}
+		progs[i] = prog.Words
+		ptByte[i] = pt[0]
+	}
+	cpaSeed := int64(stream(opts.Seed, lanePart, 1))
+	amps, cycles, injected, err := simulateAll(ctx, opts, spec, cpaSeed, progs, report)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cycles {
+		res.MeanCycles += float64(cycles[i])
+		res.MeanInjected += float64(injected[i])
+	}
+	res.MeanCycles /= float64(len(cycles))
+	res.MeanInjected /= float64(len(injected))
+
+	// The attacker's view: truncate to the shortest trace (defended runs
+	// differ in length). By default the attack scans every column; a
+	// positive CPAPoints reduces to the highest-variance columns first,
+	// which is cheaper but can miss low-variance leaks.
+	truncate(amps)
+	red := amps
+	if opts.CPAPoints > 0 {
+		poi := topVarianceColumns(amps, opts.CPAPoints)
+		if len(poi) == 0 {
+			return nil, fmt.Errorf("defend: %s: every trace column is constant; no signal to attack", name)
+		}
+		red = make([][]float64, len(amps))
+		for i, a := range amps {
+			row := make([]float64, len(poi))
+			for k, c := range poi {
+				row[k] = a[c]
+			}
+			red[i] = row
+		}
+	}
+	// The pipeline's amplitude model leaks the Hamming distance of latch
+	// transitions, so the distinguisher targets the round-1 S-box lookup
+	// transition x -> S(x) rather than plain HW(S(x)): the latter leaves a
+	// persistent ghost peak that keeps the true key at rank 1-2.
+	hyp := make([][]float64, len(amps))
+	for i := range hyp {
+		row := make([]float64, 256)
+		for g := 0; g < 256; g++ {
+			x := ptByte[i] ^ byte(g)
+			row[g] = leakage.HammingWeight(uint32(aes.SBox(x) ^ x))
+		}
+		hyp[i] = row
+	}
+	trueGuess := int(opts.Key[0])
+	for t := opts.CPAStep; t <= len(red); t += opts.CPAStep {
+		cr, err := leakage.CPA(red[:t], hyp[:t])
+		if err != nil {
+			return nil, fmt.Errorf("defend: %s: CPA at %d traces: %w", name, t, err)
+		}
+		res.CPARanks = append(res.CPARanks, RankPoint{Traces: t, Rank: cr.Rank(trueGuess), Margin: cr.Margin()})
+	}
+	for i := len(res.CPARanks) - 1; i >= 0 && res.CPARanks[i].Rank == 0; i-- {
+		res.DiscloseTraces = res.CPARanks[i].Traces
+	}
+
+	// ---- TVLA: fixed vs random detection sweep ----
+	fixedProg, err := aes.BuildProgram(opts.Key, opts.Fixed)
+	if err != nil {
+		return nil, fmt.Errorf("defend: build TVLA fixed program: %w", err)
+	}
+	tprogs := make([][]uint32, 2*opts.TVLATraces)
+	for j := 0; j < opts.TVLATraces; j++ {
+		tprogs[2*j] = fixedProg.Words
+		var pt [16]byte
+		rng := rand.New(rand.NewSource(int64(stream(opts.Seed, laneTVLA, int64(j)))))
+		for b := range pt {
+			pt[b] = byte(rng.Intn(256))
+		}
+		prog, err := aes.BuildProgram(opts.Key, pt)
+		if err != nil {
+			return nil, fmt.Errorf("defend: build TVLA program %d: %w", j, err)
+		}
+		tprogs[2*j+1] = prog.Words
+	}
+	tvlaSeed := int64(stream(opts.Seed, lanePart, 2))
+	tamps, _, _, err := simulateAll(ctx, opts, spec, tvlaSeed, tprogs, report)
+	if err != nil {
+		return nil, err
+	}
+	truncate(tamps)
+	fixed := make([][]float64, opts.TVLATraces)
+	random := make([][]float64, opts.TVLATraces)
+	for j := range fixed {
+		fixed[j] = tamps[2*j]
+		random[j] = tamps[2*j+1]
+	}
+	for _, g := range sweepSizes(opts.TVLATraces) {
+		tt, err := stats.TVLATrace(fixed[:g], random[:g])
+		if err != nil {
+			return nil, fmt.Errorf("defend: %s: TVLA at %d traces: %w", name, g, err)
+		}
+		maxAbs := 0.0
+		for _, v := range tt {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		res.TVLASweep = append(res.TVLASweep, TVLAPoint{Traces: g, MaxAbsT: maxAbs})
+		if res.DetectTraces == 0 && maxAbs > stats.TVLAThreshold {
+			res.DetectTraces = g
+		}
+		if g == opts.TVLATraces {
+			res.MaxAbsT = maxAbs
+			res.LeakyPoints = len(stats.TVLALeakyPoints(tt))
+		}
+	}
+	return res, nil
+}
+
+// simulateAll simulates progs[i] for every i across opts.Workers workers,
+// each with a private defended Session, and returns per-trace amplitude
+// vectors (measurement noise added), cycle counts and injected-slot
+// counts, in input order. Failures propagate like core.SimulateBatch:
+// the lowest-indexed failing trace wins, deterministically.
+//
+//emsim:ordered
+func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs [][]uint32, report func(int)) (amps [][]float64, cycles, injected []int, err error) {
+	n := len(progs)
+	amps = make([][]float64, n)
+	cycles = make([]int, n)
+	injected = make([]int, n)
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		errIdx atomic.Int64
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		errs   = make(map[int]error)
+	)
+	errIdx.Store(int64(n))
+	fail := func(i int, ferr error) {
+		mu.Lock()
+		if _, dup := errs[i]; !dup {
+			errs[i] = ferr
+		}
+		mu.Unlock()
+		for {
+			cur := errIdx.Load()
+			if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var cm Countermeasure
+			if spec.Name != "" {
+				var cerr error
+				if cm, cerr = spec.New(); cerr != nil {
+					fail(-1, cerr)
+					return
+				}
+			}
+			sess, serr := NewSession(opts.Model, opts.CPU, cm, seed)
+			if serr != nil {
+				fail(-1, serr)
+				return
+			}
+			var buf []float64
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || int64(i) > errIdx.Load() {
+					return
+				}
+				sig, rerr := sess.SimulateTraceInto(ctx, buf, int64(i), progs[i])
+				if rerr != nil {
+					fail(i, rerr)
+					continue
+				}
+				noise := rand.New(rand.NewSource(int64(stream(seed, laneNoise, int64(i)))))
+				for k := range sig {
+					sig[k] += opts.NoiseStd * noise.NormFloat64()
+				}
+				amp, aerr := core.ExtractAmplitudes(sig, opts.Model.SamplesPerCycle, opts.Model.Kernel)
+				buf = sig[:0]
+				if aerr != nil {
+					fail(i, aerr)
+					continue
+				}
+				amps[i] = amp
+				cycles[i] = sess.Cycles()
+				injected[i] = sess.Stats().Injected
+				mu.Lock()
+				report(1)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if idx := int(errIdx.Load()); idx < n {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		return nil, nil, nil, errs[idx]
+	}
+	return amps, cycles, injected, nil
+}
+
+// truncate cuts every trace to the length of the shortest one, aligning
+// variable-length defended traces into a rectangular matrix.
+func truncate(traces [][]float64) {
+	if len(traces) == 0 {
+		return
+	}
+	w := len(traces[0])
+	for _, tr := range traces {
+		if len(tr) < w {
+			w = len(tr)
+		}
+	}
+	for i := range traces {
+		traces[i] = traces[i][:w]
+	}
+}
+
+// topVarianceColumns returns the indices of the k highest-variance
+// columns (ties broken by index, zero-variance columns excluded), in
+// ascending column order.
+func topVarianceColumns(traces [][]float64, k int) []int {
+	if len(traces) == 0 {
+		return nil
+	}
+	w := len(traces[0])
+	vars := make([]float64, w)
+	for c := 0; c < w; c++ {
+		mean := 0.0
+		for _, tr := range traces {
+			mean += tr[c]
+		}
+		mean /= float64(len(traces))
+		v := 0.0
+		for _, tr := range traces {
+			d := tr[c] - mean
+			v += d * d
+		}
+		vars[c] = v
+	}
+	idx := make([]int, w)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if vars[idx[a]] != vars[idx[b]] {
+			return vars[idx[a]] > vars[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > w {
+		k = w
+	}
+	sel := idx[:0:0]
+	for _, c := range idx[:k] {
+		if vars[c] > 0 {
+			sel = append(sel, c)
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}
+
+// sweepSizes returns the doubling TVLA sweep grid {4, 8, 16, ...} capped
+// at and always including g.
+func sweepSizes(g int) []int {
+	var out []int
+	for s := 4; s < g; s *= 2 {
+		out = append(out, s)
+	}
+	return append(out, g)
+}
+
+// String renders the report as a readable summary table.
+func (r *SecurityReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "defense %s (seed %d)\n", r.Defense, r.Seed)
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "", "baseline", "defended")
+	fmt.Fprintf(&b, "%-22s %14.1f %14.1f\n", "mean cycles", r.Baseline.MeanCycles, r.Defended.MeanCycles)
+	fmt.Fprintf(&b, "%-22s %14.2f %14.2f\n", "TVLA |t|max", r.Baseline.MaxAbsT, r.Defended.MaxAbsT)
+	fmt.Fprintf(&b, "%-22s %14d %14d\n", "TVLA leaky points", r.Baseline.LeakyPoints, r.Defended.LeakyPoints)
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "TVLA detect @", traceCount(r.Baseline.DetectTraces), traceCount(r.Defended.DetectTraces))
+	fmt.Fprintf(&b, "%-22s %14s %14s\n", "CPA disclose @", traceCount(r.Baseline.DiscloseTraces), traceCount(r.Defended.DiscloseTraces))
+	fmt.Fprintf(&b, "leakage reduction      %6.1f%%\n", 100*r.LeakageReduction)
+	cost := fmt.Sprintf("%.1fx", r.AttackCostMultiplier)
+	if r.CostIsLowerBound {
+		cost = ">" + cost
+	}
+	fmt.Fprintf(&b, "attack cost            %s\n", cost)
+	fmt.Fprintf(&b, "cycle overhead         %6.1f%%\n", 100*r.CycleOverhead)
+	return b.String()
+}
+
+func traceCount(n int) string {
+	if n == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,120 @@
+package defend
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// quickEvalOptions is a small campaign that still exercises every stage:
+// TVLA sweep {4,8}, CPA grid {12, 24}.
+func quickEvalOptions(t *testing.T, defense string) Options {
+	t.Helper()
+	sp, err := ParseSpec(defense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Model:      defendTestModel(t),
+		Defense:    sp,
+		Seed:       11,
+		TVLATraces: 8,
+		CPATraces:  24,
+		CPAStep:    12,
+		CPAPoints:  64,
+	}
+}
+
+// TestEvaluateWorkerDeterminism is the acceptance property: a defended
+// evaluation is byte-identical at any worker count.
+func TestEvaluateWorkerDeterminism(t *testing.T) {
+	for _, defense := range []string{"shuffle", "dummy", "jitter:rate=0.2,region=32"} {
+		opts := quickEvalOptions(t, defense)
+		opts.Workers = 1
+		seq, err := Evaluate(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", defense, err)
+		}
+		opts.Workers = 4
+		par, err := Evaluate(context.Background(), opts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", defense, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: report differs between 1 and 4 workers:\nseq: %+v\npar: %+v", defense, seq, par)
+		}
+	}
+}
+
+func TestEvaluateCancellation(t *testing.T) {
+	opts := quickEvalOptions(t, "shuffle")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Evaluate(ctx, opts); err == nil {
+		t.Fatal("cancelled evaluation returned no error")
+	}
+}
+
+func TestEvaluateProgress(t *testing.T) {
+	opts := quickEvalOptions(t, "dummy")
+	last := map[string]int{}
+	total := 0
+	opts.Progress = func(arm string, done, tot int) {
+		last[arm] = done
+		total = tot
+	}
+	if _, err := Evaluate(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	want := opts.CPATraces + 2*opts.TVLATraces
+	if total != want {
+		t.Errorf("progress total %d, want %d", total, want)
+	}
+	if last["baseline"] != want || last["dummy"] != want {
+		t.Errorf("progress did not reach total: %v", last)
+	}
+}
+
+// TestEvaluateShuffleSecurity is the paper-loop acceptance check: on the
+// AES fixed-vs-random workload the baseline must leak (huge |t|, key
+// disclosed) and shuffling must measurably reduce |t|max and increase
+// the CPA attack cost, at a reported cycle overhead.
+func TestEvaluateShuffleSecurity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full defense evaluation is not short")
+	}
+	opts := Options{
+		Model:   defendTestModel(t),
+		Defense: mustSpec(t, "shuffle"),
+		Seed:    1,
+	}
+	r, err := Evaluate(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r)
+	if r.Baseline.MaxAbsT <= 4.5 {
+		t.Errorf("baseline TVLA |t|max = %.2f; expected clear leakage > 4.5", r.Baseline.MaxAbsT)
+	}
+	if r.Baseline.DiscloseTraces == 0 {
+		t.Error("baseline CPA did not disclose the key byte within budget")
+	}
+	if r.LeakageReduction <= 0.5 {
+		t.Errorf("shuffle leakage reduction %.2f; expected > 0.5", r.LeakageReduction)
+	}
+	if r.AttackCostMultiplier <= 1 {
+		t.Errorf("attack cost multiplier %.2f; expected > 1", r.AttackCostMultiplier)
+	}
+	if r.Defended.MeanCycles <= 0 || r.Baseline.MeanCycles <= 0 {
+		t.Error("mean cycles not reported")
+	}
+}
+
+func mustSpec(t *testing.T, s string) Spec {
+	t.Helper()
+	sp, err := ParseSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}

@@ -1,0 +1,152 @@
+package defend
+
+import (
+	"testing"
+
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+// fuzzProgram layout: a prolog pins s0 at the data region, up to
+// fuzzMaxInsts generated instructions follow, then the terminating
+// EBREAK; the image is padded to fuzzImageWords words with a data
+// region in the tail that loads and stores address through s0.
+const (
+	fuzzMaxInsts   = 40
+	fuzzCodeWords  = 48
+	fuzzImageWords = 64
+	fuzzDataBase   = fuzzCodeWords * 4
+)
+
+// fuzzRegs is the register pool the generator draws operands from. s0
+// is deliberately excluded from destinations so every memory access
+// stays inside the image's data region.
+var fuzzRegs = [...]isa.Reg{
+	isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6,
+	isa.A0, isa.A1, isa.A2, isa.A3, isa.S1, isa.S2,
+}
+
+// buildFuzzProgram derives a well-formed, terminating program from raw
+// fuzz bytes: ALU register/immediate ops, loads and stores confined to
+// the data region, MULs, and forward-only branches (so execution always
+// reaches the EBREAK). It returns the image and the index of the
+// EBREAK.
+func buildFuzzProgram(data []byte) ([]uint32, int) {
+	n := len(data) / 3
+	if n > fuzzMaxInsts {
+		n = fuzzMaxInsts
+	}
+	insts := []isa.Inst{isa.Addi(isa.S0, isa.Zero, fuzzDataBase)}
+	for i := 0; i < n; i++ {
+		b0, b1, b2 := data[3*i], data[3*i+1], data[3*i+2]
+		rd := fuzzRegs[int(b1)%len(fuzzRegs)]
+		rs1 := fuzzRegs[int(b1>>4)%len(fuzzRegs)]
+		rs2 := fuzzRegs[int(b2)%len(fuzzRegs)]
+		off := int32(b2%16) * 4
+		switch b0 % 8 {
+		case 0:
+			insts = append(insts, isa.Add(rd, rs1, rs2))
+		case 1:
+			insts = append(insts, isa.Inst{Op: isa.SUB, Rd: rd, Rs1: rs1, Rs2: rs2})
+		case 2:
+			insts = append(insts, isa.Inst{Op: isa.XOR, Rd: rd, Rs1: rs1, Rs2: rs2})
+		case 3:
+			insts = append(insts, isa.Inst{Op: isa.MUL, Rd: rd, Rs1: rs1, Rs2: rs2})
+		case 4:
+			insts = append(insts, isa.Addi(rd, rs1, int32(int8(b2))))
+		case 5:
+			insts = append(insts, isa.Lw(rd, isa.S0, off))
+		case 6:
+			insts = append(insts, isa.Sw(rs2, isa.S0, off))
+		case 7:
+			// Forward-only branch: the target lies between the next
+			// instruction and the EBREAK (index n+1), so the program
+			// cannot loop.
+			here := len(insts)
+			maxSkip := (n + 1) - here
+			skip := 1 + int(b2)%maxSkip
+			op := isa.BEQ
+			if b1&0x80 != 0 {
+				op = isa.BNE
+			}
+			insts = append(insts, isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: int32(skip) * 4})
+		}
+	}
+	ebreak := len(insts)
+	insts = append(insts, isa.Ebreak())
+
+	image := make([]uint32, fuzzImageWords)
+	for i, in := range insts {
+		image[i] = isa.MustEncode(in)
+	}
+	// Deterministic non-zero data pattern for the load/store region.
+	for i := fuzzCodeWords; i < fuzzImageWords; i++ {
+		image[i] = uint32(i) * 0x9E3779B1
+	}
+	return image, ebreak
+}
+
+// fuzzArchState runs an image and returns its final architectural
+// state: the register file plus the data-region words.
+func fuzzArchState(t *testing.T, image []uint32) ([isa.NumRegs]uint32, [fuzzImageWords - fuzzCodeWords]uint32) {
+	t.Helper()
+	c := cpu.MustNew(cpu.DefaultConfig())
+	if _, err := c.RunProgram(image); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var regs [isa.NumRegs]uint32
+	for r := 0; r < isa.NumRegs; r++ {
+		regs[r] = c.Reg(isa.Reg(r))
+	}
+	var mem [fuzzImageWords - fuzzCodeWords]uint32
+	for i := range mem {
+		mem[i] = c.Memory().ReadWord(uint32(fuzzDataBase + 4*i))
+	}
+	return regs, mem
+}
+
+// FuzzShuffleSemantics is the semantic-preservation property of the
+// shuffle countermeasure: for any generated program and any shuffle
+// seed, the shuffled image must reach exactly the architectural state
+// (all 32 registers and the whole data region) of the original.
+func FuzzShuffleSemantics(f *testing.F) {
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{0, 0, 0, 1, 1, 1, 2, 2, 2}, uint64(1))
+	// A RAW/WAR/memory-dependence-heavy mix with a branch.
+	f.Add([]byte{
+		4, 0x12, 0x55, // addi
+		0, 0x21, 0x03, // add
+		6, 0x31, 0x04, // sw
+		5, 0x13, 0x04, // lw
+		7, 0x91, 0x02, // bne forward
+		3, 0x42, 0x15, // mul
+		1, 0x24, 0x31, // sub
+	}, uint64(7))
+	f.Fuzz(func(t *testing.T, data []byte, seed uint64) {
+		image, ebreak := buildFuzzProgram(data)
+		wantRegs, wantMem := fuzzArchState(t, image)
+
+		sh, err := NewShuffle(defaultShuffleWindow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		armed, err := sh.Arm(image, seed)
+		if err != nil {
+			t.Fatalf("arm: %v", err)
+		}
+		if len(armed.Words) != len(image) {
+			t.Fatalf("image length changed: %d -> %d", len(image), len(armed.Words))
+		}
+		if !wordsEqual(armed.Words[ebreak:], image[ebreak:]) {
+			t.Fatal("shuffle modified the image at or beyond the EBREAK")
+		}
+		shuffled := append([]uint32(nil), armed.Words...)
+		gotRegs, gotMem := fuzzArchState(t, shuffled)
+		if gotRegs != wantRegs {
+			t.Fatalf("registers diverged\noriginal: %08x\nshuffled: %08x", image, shuffled)
+		}
+		if gotMem != wantMem {
+			t.Fatalf("data region diverged\noriginal: %08x\nshuffled: %08x", image, shuffled)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package defend
+
+import (
+	"fmt"
+
+	"emsim/internal/cpu"
+)
+
+// Jitter inserts randomized stall bubbles into the fetch stream with a
+// probability that is itself redrawn per region of cycles: within one
+// region of `region` cycles, each accepting fetch slot stalls with a
+// fixed probability drawn uniformly from [0, 2*rate]. The two-level
+// randomness desynchronizes traces at both fine (per-slot) and coarse
+// (per-region drift) time scales, which is what defeats averaging and
+// fixed-offset correlation; the mean cycle overhead is roughly
+// rate/(1-rate).
+type Jitter struct {
+	rate   float64
+	region int
+	inj    jitterInjector
+}
+
+const (
+	defaultJitterRate   = 0.10
+	defaultJitterRegion = 64
+)
+
+// NewJitter builds a jitter countermeasure with the given mean stall
+// rate (0 < rate <= 0.45, so the per-region draw stays below 0.9) and
+// region length in cycles.
+func NewJitter(rate float64, region int) (*Jitter, error) {
+	if !(rate > 0 && rate <= 0.45) {
+		return nil, fmt.Errorf("defend: jitter rate %g out of range (0, 0.45]", rate)
+	}
+	if region < 1 {
+		return nil, fmt.Errorf("defend: jitter region %d cycles; need >= 1", region)
+	}
+	return &Jitter{rate: rate, region: region}, nil
+}
+
+// Name implements Countermeasure.
+func (j *Jitter) Name() string { return "jitter" }
+
+// Arm re-seeds the injector for one run; the image is unchanged.
+func (j *Jitter) Arm(words []uint32, seed uint64) (Armed, error) {
+	j.inj.reset(seed, j.rate, j.region)
+	return Armed{Words: words, Injector: &j.inj}, nil
+}
+
+type jitterInjector struct {
+	rng       prng
+	region    int
+	regionEnd int    // first cycle of the next region
+	maxThresh uint64 // 2*rate scaled to the full uint64 range
+	threshold uint64 // current region's stall probability, same scale
+}
+
+func (j *jitterInjector) reset(seed uint64, rate float64, region int) {
+	j.rng = newPRNG(seed)
+	j.region = region
+	j.regionEnd = 0
+	j.maxThresh = uint64(2 * rate * float64(1<<32) * float64(1<<32))
+	j.threshold = 0
+}
+
+// Inject implements cpu.FetchInjector.
+//
+//emsim:noalloc
+func (j *jitterInjector) Inject(cycle int, pc uint32) cpu.Injection {
+	if cycle >= j.regionEnd {
+		j.regionEnd = cycle + j.region
+		j.threshold = j.rng.next() % (j.maxThresh + 1)
+	}
+	if j.rng.next() < j.threshold {
+		return cpu.Injection{Kind: cpu.InjectBubble}
+	}
+	return cpu.Injection{}
+}

@@ -1,0 +1,217 @@
+package defend
+
+import (
+	"fmt"
+
+	"emsim/internal/isa"
+)
+
+// Shuffle is a ShuffleV-style static randomization: each Arm emits a
+// differently-permuted but architecturally equivalent program image.
+// The code region is cut into windows whose instructions are provably
+// independent under a conservative dataflow analysis (register RAW/WAR/
+// WAW plus store-ordering), and each window is reordered by seeded random
+// list scheduling. An attacker averaging or correlating over many runs
+// no longer sees a fixed operation at a fixed cycle.
+//
+// Safety model: the image is treated as code from index 0 up to and
+// including the first ECALL/EBREAK (every in-tree program builder lays
+// out code first, one final EBREAK, then data); everything after is data
+// and is never touched. Windows never contain or cross control flow
+// (branches, jumps, ECALL/EBREAK, FENCE), position-dependent
+// instructions (AUIPC) or undecodable words, and never cross a
+// branch/JAL target, so control always enters a window at its start and
+// runs it to completion — any topological order of the window's
+// dependence DAG reaches the same architectural state. An indirect jump
+// (JALR) anywhere in the code region disables shuffling entirely for
+// that image, since its targets cannot be bounded statically.
+type Shuffle struct {
+	window int
+
+	// scratch, reused across Arm calls
+	out   []uint32
+	insts []isa.Inst
+	dec   []bool
+	tgt   []bool
+	dep   []uint64
+	ready []int
+	perm  []int
+}
+
+const (
+	defaultShuffleWindow = 24
+	maxShuffleWindow     = 64 // dependence masks are single uint64 bitsets
+)
+
+// NewShuffle builds a shuffling countermeasure with the given maximum
+// window size (instructions per reordering window, 2..64).
+func NewShuffle(window int) (*Shuffle, error) {
+	if window < 2 || window > maxShuffleWindow {
+		return nil, fmt.Errorf("defend: shuffle window %d out of range [2,%d]", window, maxShuffleWindow)
+	}
+	return &Shuffle{window: window}, nil
+}
+
+// Name implements Countermeasure.
+func (s *Shuffle) Name() string { return "shuffle" }
+
+// Arm returns a freshly permuted copy of the image. The returned slice
+// is owned by the Shuffle and invalidated by its next Arm call.
+func (s *Shuffle) Arm(words []uint32, seed uint64) (Armed, error) {
+	rng := newPRNG(seed)
+	n := len(words)
+	s.out = append(s.out[:0], words...)
+	if cap(s.insts) < n {
+		s.insts = make([]isa.Inst, n)
+		s.dec = make([]bool, n)
+		s.tgt = make([]bool, n)
+	}
+	s.insts = s.insts[:n]
+	s.dec = s.dec[:n]
+	s.tgt = s.tgt[:n]
+
+	// Pass 1: decode and find the end of the code region (first system
+	// instruction, inclusive). JALR makes targets unboundable — bail to
+	// the identity transform.
+	codeEnd := n
+	for i := 0; i < n; i++ {
+		in, ok := isa.TryDecode(words[i])
+		s.insts[i], s.dec[i], s.tgt[i] = in, ok, false
+		if !ok {
+			continue
+		}
+		if in.Op == isa.JALR {
+			return Armed{Words: s.out}, nil
+		}
+		if in.Op.IsSystem() {
+			codeEnd = i + 1
+			break
+		}
+	}
+
+	// Pass 2: mark branch/JAL targets inside the code region; windows
+	// must not cross a join point.
+	for i := 0; i < codeEnd; i++ {
+		if !s.dec[i] {
+			continue
+		}
+		op := s.insts[i].Op
+		if op.IsBranch() || op == isa.JAL {
+			if off := s.insts[i].Imm; off%4 == 0 {
+				if ti := i + int(off/4); ti >= 0 && ti < codeEnd {
+					s.tgt[ti] = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: cut windows at barriers, targets and the size cap, and
+	// permute each.
+	start := 0
+	for i := 0; i < codeEnd; i++ {
+		if s.tgt[i] {
+			s.shuffleWindow(&rng, words, start, i)
+			start = i
+		}
+		if shuffleBarrier(s.dec[i], s.insts[i].Op) {
+			s.shuffleWindow(&rng, words, start, i)
+			start = i + 1
+			continue
+		}
+		if i+1-start >= s.window {
+			s.shuffleWindow(&rng, words, start, i+1)
+			start = i + 1
+		}
+	}
+	s.shuffleWindow(&rng, words, start, codeEnd)
+	return Armed{Words: s.out}, nil
+}
+
+// shuffleBarrier reports whether an instruction may not move and cuts
+// the current window: control flow, system ops, FENCE, the
+// position-dependent AUIPC, and anything that failed to decode.
+func shuffleBarrier(decoded bool, op isa.Op) bool {
+	if !decoded {
+		return true
+	}
+	return op.IsBranch() || op.IsJump() || op.IsSystem() || op == isa.FENCE || op == isa.AUIPC
+}
+
+// shuffleWindow permutes words[lo:hi] of the original image into s.out
+// by random list scheduling over the window's dependence DAG.
+func (s *Shuffle) shuffleWindow(rng *prng, words []uint32, lo, hi int) {
+	n := hi - lo
+	if n < 2 {
+		return
+	}
+	if cap(s.dep) < n {
+		s.dep = make([]uint64, n)
+	}
+	dep := s.dep[:n]
+	// dep[j] holds one bit per earlier window instruction j must stay
+	// behind.
+	for j := 0; j < n; j++ {
+		dep[j] = 0
+		for i := 0; i < j; i++ {
+			if instConflict(&s.insts[lo+i], &s.insts[lo+j]) {
+				dep[j] |= 1 << uint(i)
+			}
+		}
+	}
+	remaining := ^uint64(0) >> (64 - uint(n))
+	perm := s.perm[:0]
+	ready := s.ready
+	for len(perm) < n {
+		ready = ready[:0]
+		for i := 0; i < n; i++ {
+			if remaining&(1<<uint(i)) != 0 && dep[i]&remaining == 0 {
+				ready = append(ready, i)
+			}
+		}
+		pick := ready[rng.intn(len(ready))]
+		perm = append(perm, pick)
+		remaining &^= 1 << uint(pick)
+	}
+	s.perm, s.ready = perm, ready
+	for k, src := range perm {
+		s.out[lo+k] = words[lo+src]
+	}
+}
+
+// instConflict reports whether instruction b (later in program order)
+// must stay ordered after a: register RAW/WAR/WAW through any real
+// register, or memory ordering (every pair involving a store stays
+// ordered; loads commute freely with loads).
+func instConflict(a, b *isa.Inst) bool {
+	aMem := a.Op.IsLoad() || a.Op.IsStore()
+	bMem := b.Op.IsLoad() || b.Op.IsStore()
+	if aMem && bMem && (a.Op.IsStore() || b.Op.IsStore()) {
+		return true
+	}
+	aw, awOK := instWrite(a)
+	bw, bwOK := instWrite(b)
+	if awOK && instReads(b, aw) { // RAW
+		return true
+	}
+	if bwOK && instReads(a, bw) { // WAR
+		return true
+	}
+	if awOK && bwOK && aw == bw { // WAW
+		return true
+	}
+	return false
+}
+
+// instWrite returns the register an instruction actually writes (writes
+// to x0 are architectural no-ops and carry no dependence).
+func instWrite(in *isa.Inst) (isa.Reg, bool) {
+	if in.Op.WritesRd() && in.Rd != isa.Zero {
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// instReads reports whether the instruction reads register r.
+func instReads(in *isa.Inst, r isa.Reg) bool {
+	return (in.Op.ReadsRs1() && in.Rs1 == r) || (in.Op.ReadsRs2() && in.Rs2 == r)
+}

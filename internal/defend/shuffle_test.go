@@ -1,0 +1,216 @@
+package defend
+
+import (
+	"testing"
+
+	"emsim/internal/aes"
+	"emsim/internal/cpu"
+	"emsim/internal/isa"
+)
+
+// runWords executes a program on a fresh core and returns the final
+// register file and the halted core for memory inspection.
+func runWords(t *testing.T, words []uint32) ([isa.NumRegs]uint32, *cpu.CPU) {
+	t.Helper()
+	c := cpu.MustNew(cpu.DefaultConfig())
+	if _, err := c.RunProgram(words); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var regs [isa.NumRegs]uint32
+	for r := 0; r < isa.NumRegs; r++ {
+		regs[r] = c.Reg(isa.Reg(r))
+	}
+	return regs, c
+}
+
+func TestShufflePreservesAESSemantics(t *testing.T) {
+	prog, err := aes.BuildProgram(DefaultKey, DefaultFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := runWords(t, prog.Words)
+	want := prog.Output(base.Memory().ReadWord)
+	if ref := aes.Reference(DefaultKey, DefaultFixed); want != ref {
+		t.Fatalf("baseline AES output %x != reference %x", want, ref)
+	}
+
+	sh, err := NewShuffle(defaultShuffleWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed := 0
+	for seed := uint64(0); seed < 8; seed++ {
+		armed, err := sh.Arm(prog.Words, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(armed.Words) != len(prog.Words) {
+			t.Fatalf("seed %d: image length changed %d -> %d", seed, len(prog.Words), len(armed.Words))
+		}
+		if !wordsEqual(armed.Words, prog.Words) {
+			changed++
+		}
+		// Arm invalidates its buffer on the next call; run from a copy.
+		image := append([]uint32(nil), armed.Words...)
+		_, c := runWords(t, image)
+		if got := prog.Output(c.Memory().ReadWord); got != want {
+			t.Fatalf("seed %d: shuffled AES output %x, want %x", seed, got, want)
+		}
+	}
+	if changed == 0 {
+		t.Fatal("no seed produced a permuted image; shuffle is a no-op on the AES program")
+	}
+}
+
+func TestShuffleDeterministicPerSeed(t *testing.T) {
+	prog, err := aes.BuildProgram(DefaultKey, DefaultFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewShuffle(defaultShuffleWindow)
+	b, _ := NewShuffle(defaultShuffleWindow)
+	armedA, err := a.Arm(prog.Words, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyA := append([]uint32(nil), armedA.Words...)
+	armedB, err := b.Arm(prog.Words, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wordsEqual(copyA, armedB.Words) {
+		t.Fatal("same seed produced different permutations")
+	}
+	armedC, err := b.Arm(prog.Words, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wordsEqual(copyA, armedC.Words) {
+		t.Fatal("different seeds produced identical permutations (suspicious)")
+	}
+}
+
+func TestShuffleLeavesDataUntouched(t *testing.T) {
+	prog, err := aes.BuildProgram(DefaultKey, DefaultFixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the single EBREAK terminating the code region.
+	codeEnd := -1
+	for i, w := range prog.Words {
+		if in, ok := isa.TryDecode(w); ok && in.Op.IsSystem() {
+			codeEnd = i + 1
+			break
+		}
+	}
+	if codeEnd < 0 {
+		t.Fatal("no system instruction in AES image")
+	}
+	sh, _ := NewShuffle(defaultShuffleWindow)
+	armed, err := sh.Arm(prog.Words, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wordsEqual(armed.Words[codeEnd:], prog.Words[codeEnd:]) {
+		t.Fatal("shuffle modified the data region after the terminating EBREAK")
+	}
+}
+
+func TestShuffleJALRDisablesTransform(t *testing.T) {
+	words := []uint32{
+		isa.MustEncode(isa.Addi(isa.T0, isa.Zero, 8)),
+		isa.MustEncode(isa.Addi(isa.T1, isa.Zero, 3)),
+		isa.MustEncode(isa.Inst{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.T0}),
+		isa.MustEncode(isa.Addi(isa.T2, isa.Zero, 1)),
+		isa.MustEncode(isa.Ebreak()),
+	}
+	sh, _ := NewShuffle(8)
+	for seed := uint64(0); seed < 16; seed++ {
+		armed, err := sh.Arm(words, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !wordsEqual(armed.Words, words) {
+			t.Fatalf("seed %d: image with JALR was transformed", seed)
+		}
+	}
+}
+
+func TestShuffleRespectsDependences(t *testing.T) {
+	// t1 = 5; t2 = t1 + 2; store t2; load it back — a chain with RAW and
+	// memory dependences that admits exactly one order.
+	words := []uint32{
+		isa.MustEncode(isa.Addi(isa.S0, isa.Zero, 64)), // data base
+		isa.MustEncode(isa.Addi(isa.T1, isa.Zero, 5)),
+		isa.MustEncode(isa.Addi(isa.T2, isa.T1, 2)),
+		isa.MustEncode(isa.Sw(isa.T2, isa.S0, 0)),
+		isa.MustEncode(isa.Lw(isa.T3, isa.S0, 0)),
+		isa.MustEncode(isa.Add(isa.T4, isa.T3, isa.T1)),
+		isa.MustEncode(isa.Ebreak()),
+	}
+	wantRegs, _ := runWords(t, words)
+	sh, _ := NewShuffle(16)
+	for seed := uint64(0); seed < 32; seed++ {
+		armed, err := sh.Arm(words, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		image := append([]uint32(nil), armed.Words...)
+		gotRegs, _ := runWords(t, image)
+		if gotRegs != wantRegs {
+			t.Fatalf("seed %d: registers diverged\nimage: %08x", seed, image)
+		}
+	}
+}
+
+func TestShuffleWindowValidation(t *testing.T) {
+	for _, w := range []int{-1, 0, 1, 65, 1000} {
+		if _, err := NewShuffle(w); err == nil {
+			t.Errorf("NewShuffle(%d) accepted an out-of-range window", w)
+		}
+	}
+}
+
+func wordsEqual(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShuffleGoldenWindowing pins the windowing on a handcrafted program:
+// the two instructions after the branch target must never migrate across
+// the branch or its target.
+func TestShuffleGoldenWindowing(t *testing.T) {
+	words := []uint32{
+		isa.MustEncode(isa.Addi(isa.T0, isa.Zero, 1)),
+		isa.MustEncode(isa.Addi(isa.T1, isa.Zero, 2)),
+		isa.MustEncode(isa.Inst{Op: isa.BEQ, Rs1: isa.Zero, Rs2: isa.Zero, Imm: 8}), // skip next
+		isa.MustEncode(isa.Addi(isa.T2, isa.Zero, 3)),
+		isa.MustEncode(isa.Addi(isa.T3, isa.Zero, 4)), // branch target
+		isa.MustEncode(isa.Addi(isa.T4, isa.Zero, 5)),
+		isa.MustEncode(isa.Ebreak()),
+	}
+	wantRegs, _ := runWords(t, words)
+	sh, _ := NewShuffle(8)
+	for seed := uint64(0); seed < 32; seed++ {
+		armed, err := sh.Arm(words, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The branch must stay put.
+		if armed.Words[2] != words[2] {
+			t.Fatalf("seed %d: branch instruction moved", seed)
+		}
+		image := append([]uint32(nil), armed.Words...)
+		gotRegs, _ := runWords(t, image)
+		if gotRegs != wantRegs {
+			t.Fatalf("seed %d: shuffled control flow diverged", seed)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"emsim/internal/defend"
+)
+
+// ----------------------------------------------------------------------
+// Defense study: security/overhead trade-off of the microarchitectural
+// countermeasures, evaluated with the TVLA and CPA campaigns of
+// defend.Evaluate against the AES-128 workload.
+
+// DefenseStudyResult holds one defend.SecurityReport per evaluated
+// countermeasure.
+type DefenseStudyResult struct {
+	Reports []*defend.SecurityReport
+}
+
+// DefenseStudy evaluates the built-in countermeasures — instruction
+// shuffling, dummy-instruction insertion and pipeline jitter — against
+// the undefended baseline. tvlaTraces/cpaTraces of zero select the
+// defend.Options defaults (64 traces per TVLA group, a 512-trace CPA
+// budget).
+func (e *Env) DefenseStudy(tvlaTraces, cpaTraces int) (*DefenseStudyResult, error) {
+	res := &DefenseStudyResult{}
+	for _, spec := range []string{"shuffle", "dummy", "jitter"} {
+		sp, err := defend.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		r, err := defend.Evaluate(context.Background(), defend.Options{
+			Model:      e.Model,
+			CPU:        e.Dev.Options().CPU,
+			Defense:    sp,
+			Seed:       e.Seed,
+			TVLATraces: tvlaTraces,
+			CPATraces:  cpaTraces,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("defense study %s: %w", spec, err)
+		}
+		res.Reports = append(res.Reports, r)
+	}
+	return res, nil
+}
+
+func (r *DefenseStudyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Defense study: TVLA + CPA campaigns, baseline vs defended AES-128\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %12s %12s %10s %10s\n",
+		"defense", "|t|max", "leakage-", "TVLA detect", "CPA disclose", "atk cost", "overhead")
+	base := r.Reports[0].Baseline
+	fmt.Fprintf(&b, "%-10s %10.2f %10s %12s %12s %10s %10s\n",
+		"baseline", base.MaxAbsT, "", fmtTraces(base.DetectTraces), fmtTraces(base.DiscloseTraces), "1.0x", "0.0%")
+	for _, rep := range r.Reports {
+		cost := fmt.Sprintf("%.1fx", rep.AttackCostMultiplier)
+		if rep.CostIsLowerBound {
+			cost = ">" + cost
+		}
+		fmt.Fprintf(&b, "%-10s %10.2f %9.1f%% %12s %12s %10s %9.1f%%\n",
+			rep.Defense, rep.Defended.MaxAbsT, 100*rep.LeakageReduction,
+			fmtTraces(rep.Defended.DetectTraces), fmtTraces(rep.Defended.DiscloseTraces),
+			cost, 100*rep.CycleOverhead)
+	}
+	return b.String()
+}
+
+func fmtTraces(n int) string {
+	if n == 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", n)
+}

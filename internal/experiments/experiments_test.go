@@ -490,3 +490,28 @@ func TestTrainingBudgetStudyDegradesGracefully(t *testing.T) {
 		t.Error("empty report")
 	}
 }
+
+func TestDefenseStudyReportsAllDefenses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("defense study simulates thousands of AES traces")
+	}
+	e := testEnv(t)
+	r, err := e.DefenseStudy(8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(r.Reports))
+	}
+	for _, rep := range r.Reports {
+		if rep.Baseline.MaxAbsT <= 0 || rep.Defended.MaxAbsT <= 0 {
+			t.Errorf("%s: missing TVLA statistics: %+v", rep.Defense, rep)
+		}
+		if rep.Baseline.MeanCycles <= 0 || rep.Defended.MeanCycles <= 0 {
+			t.Errorf("%s: missing cycle counts", rep.Defense)
+		}
+	}
+	if s := r.String(); !strings.Contains(s, "shuffle") || !strings.Contains(s, "jitter") {
+		t.Errorf("summary misses a defense:\n%s", s)
+	}
+}

@@ -50,7 +50,9 @@ func (r *CPAResult) Margin() float64 {
 // CPA correlates per-candidate leakage hypotheses against traces.
 // hypotheses[t][g] is candidate g's predicted leakage for trace t; all
 // traces must share a length. Constant hypothesis columns and constant
-// samples contribute zero correlation.
+// samples contribute zero correlation; when every column on either side
+// is constant there is nothing to correlate and CPA returns an error
+// rather than an all-zero (and meaningless) ranking.
 func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 	n := len(traces)
 	if n < 3 || n != len(hypotheses) {
@@ -93,12 +95,23 @@ func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 		}
 		hc[t] = row
 	}
+	liveGuess := false
+	for _, v := range hVar {
+		if v != 0 {
+			liveGuess = true
+			break
+		}
+	}
+	if !liveGuess {
+		return nil, fmt.Errorf("leakage: every hypothesis column is constant; nothing to correlate")
+	}
 
 	res := &CPAResult{
 		PeakCorr: make([]float64, nGuess),
 		PeakAt:   make([]int, nGuess),
 	}
 	col := make([]float64, n)
+	liveSamples := 0
 	for s := 0; s < width; s++ {
 		mean := 0.0
 		for t := 0; t < n; t++ {
@@ -114,6 +127,7 @@ func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 		if sVar == 0 {
 			continue
 		}
+		liveSamples++
 		for g := 0; g < nGuess; g++ {
 			if hVar[g] == 0 {
 				continue
@@ -128,6 +142,9 @@ func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 				res.PeakAt[g] = s
 			}
 		}
+	}
+	if liveSamples == 0 {
+		return nil, fmt.Errorf("leakage: every trace column is constant; no signal to correlate")
 	}
 	best := 0
 	for g, c := range res.PeakCorr {

@@ -1,6 +1,7 @@
 package leakage
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -143,5 +144,56 @@ func BenchmarkCPA(b *testing.B) {
 		if _, err := CPA(traces, hyps); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestCPAAllConstantErrors(t *testing.T) {
+	// When *every* column on one side is constant there is no signal at
+	// all — a silent all-zero ranking would read as "no candidate leaks",
+	// which is the wrong conclusion. CPA must refuse instead.
+	varying := [][]float64{{1, 4}, {2, 5}, {3, 6}}
+	flatTraces := [][]float64{{7, 9}, {7, 9}, {7, 9}}
+	flatHyps := [][]float64{{5, 2}, {5, 2}, {5, 2}}
+	if _, err := CPA(flatTraces, varying); err == nil {
+		t.Error("all-constant traces accepted")
+	}
+	if _, err := CPA(varying, flatHyps); err == nil {
+		t.Error("all-constant hypotheses accepted")
+	}
+	// One live column on each side is enough to correlate.
+	if _, err := CPA([][]float64{{7, 1}, {7, 2}, {7, 3}}, [][]float64{{5, 1}, {5, 2}, {5, 3}}); err != nil {
+		t.Errorf("one live column rejected: %v", err)
+	}
+}
+
+func TestCPARankMarginEdgeCases(t *testing.T) {
+	// A single hypothesis is trivially rank 0 with infinite margin.
+	single := &CPAResult{BestGuess: 0, PeakCorr: []float64{0.4}, PeakAt: []int{3}}
+	if r := single.Rank(0); r != 0 {
+		t.Errorf("single-candidate rank %d, want 0", r)
+	}
+	if m := single.Margin(); !math.IsInf(m, 1) {
+		t.Errorf("single-candidate margin %v, want +Inf", m)
+	}
+
+	// Tied peaks share the top rank and give margin 1 (no confidence).
+	tied := &CPAResult{BestGuess: 0, PeakCorr: []float64{0.6, 0.6, 0.1}, PeakAt: []int{0, 1, 2}}
+	if r := tied.Rank(0); r != 0 {
+		t.Errorf("tied leader rank %d, want 0", r)
+	}
+	if r := tied.Rank(1); r != 0 {
+		t.Errorf("tied co-leader rank %d, want 0", r)
+	}
+	if r := tied.Rank(2); r != 2 {
+		t.Errorf("trailing candidate rank %d, want 2", r)
+	}
+	if m := tied.Margin(); m != 1 {
+		t.Errorf("tied margin %v, want 1", m)
+	}
+
+	// A zero runner-up would divide by zero; Margin reports +Inf instead.
+	soleLeak := &CPAResult{BestGuess: 1, PeakCorr: []float64{0, 0.5}, PeakAt: []int{0, 0}}
+	if m := soleLeak.Margin(); !math.IsInf(m, 1) {
+		t.Errorf("zero runner-up margin %v, want +Inf", m)
 	}
 }

@@ -1,6 +1,7 @@
 package leakage
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -217,5 +218,32 @@ func BenchmarkSavatProgram(b *testing.B) {
 		if _, err := SavatProgram(LDM, MUL, 6, 8); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestSavatMatrixErrors(t *testing.T) {
+	okRun := func(words []uint32) ([]float64, int, error) {
+		sig := make([]float64, 64*16)
+		return sig, 64, nil
+	}
+	// Bad program geometry fails before any cell is measured.
+	if _, err := SavatMatrix(okRun, 16, 0, 2); err == nil {
+		t.Error("perHalf=0 accepted")
+	}
+	if _, err := SavatMatrix(okRun, 16, 16, 2); err == nil {
+		t.Error("perHalf beyond the miss-stride window accepted")
+	}
+	// A failing measurement aborts the sweep with the cell named.
+	boom := errors.New("probe fell off")
+	failRun := func(words []uint32) ([]float64, int, error) { return nil, 0, boom }
+	if _, err := SavatMatrix(failRun, 16, 4, 2); err == nil || !errors.Is(err, boom) {
+		t.Errorf("measurement error not propagated: %v", err)
+	}
+	// A signal too short for the alternation periods fails in Savat.
+	shortRun := func(words []uint32) ([]float64, int, error) {
+		return make([]float64, 16), 1, nil
+	}
+	if _, err := SavatMatrix(shortRun, 16, 4, 2); err == nil {
+		t.Error("too-short signal accepted")
 	}
 }

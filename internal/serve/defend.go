@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"emsim/internal/defend"
+)
+
+// This file is the asynchronous countermeasure-evaluation surface:
+// POST /v1/defend submits a defend.Evaluate campaign against the
+// server's model and returns a job ID; GET /v1/defend/{id} reports
+// per-arm trace progress and, once done, the SecurityReport; DELETE
+// cancels. A campaign simulates on the order of a thousand AES traces
+// per arm, so jobs run on their own goroutines gated by a small
+// semaphore — the same shape as the training registry — rather than
+// through the simulation worker pool.
+
+// Defense job states (shared vocabulary with training jobs).
+const (
+	defendQueued    = "queued"
+	defendRunning   = "running"
+	defendDone      = "done"
+	defendFailed    = "failed"
+	defendCancelled = "cancelled"
+)
+
+// defendRequest is the POST /v1/defend body. Zero-valued campaign
+// fields take the defend.Options defaults.
+type defendRequest struct {
+	// Defense is the countermeasure spec, e.g. "shuffle",
+	// "shuffle:window=16", "dummy:rate=0.2", "jitter:rate=0.1,region=64".
+	Defense string `json:"defense"`
+	Seed    int64  `json:"seed"`
+	// Workers overrides the server's per-campaign simulation fan-out.
+	Workers    int     `json:"workers"`
+	TVLATraces int     `json:"tvla_traces"`
+	CPATraces  int     `json:"cpa_traces"`
+	CPAStep    int     `json:"cpa_step"`
+	CPAPoints  int     `json:"cpa_points"`
+	NoiseStd   float64 `json:"noise_std"`
+}
+
+// defendStatus is the wire form of a job snapshot.
+type defendStatus struct {
+	ID        string          `json:"job_id"`
+	State     string          `json:"state"`
+	Arm       string          `json:"arm,omitempty"` // campaign arm currently simulating
+	Done      int             `json:"done"`          // traces simulated across both arms
+	Total     int             `json:"total"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Error     string          `json:"error,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+}
+
+// defendJob is one evaluation campaign and its observable state.
+type defendJob struct {
+	id     string
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    string
+	arm      string
+	armDone  map[string]int // per-arm trace progress
+	armTotal int            // traces per arm
+	started  time.Time
+	elapsed  time.Duration // frozen at completion
+	err      string
+	report   []byte // serialized SecurityReport, set when state == done
+	finished bool
+}
+
+// observe is the Evaluate progress callback. Arms run sequentially, so
+// the most recent arm is the live one.
+func (j *defendJob) observe(arm string, done, total int) {
+	j.mu.Lock()
+	j.arm = arm
+	j.armDone[arm] = done
+	j.armTotal = total
+	j.mu.Unlock()
+}
+
+func (j *defendJob) setRunning() {
+	j.mu.Lock()
+	j.state = defendRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+}
+
+// finish records the campaign outcome exactly once.
+func (j *defendJob) finish(report []byte, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.finished {
+		return
+	}
+	j.finished = true
+	if !j.started.IsZero() {
+		j.elapsed = time.Since(j.started)
+	}
+	switch {
+	case err == nil:
+		j.state = defendDone
+		j.report = report
+	case errors.Is(err, context.Canceled):
+		j.state = defendCancelled
+	default:
+		j.state = defendFailed
+		j.err = err.Error()
+	}
+}
+
+// status snapshots the job for the wire, including the report only when
+// asked.
+func (j *defendJob) status(withReport bool) defendStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := defendStatus{
+		ID:    j.id,
+		State: j.state,
+		Arm:   j.arm,
+		Total: 2 * j.armTotal,
+		Error: j.err,
+	}
+	for _, d := range j.armDone {
+		st.Done += d
+	}
+	switch {
+	case j.finished:
+		st.ElapsedMS = j.elapsed.Milliseconds()
+	case !j.started.IsZero():
+		st.ElapsedMS = time.Since(j.started).Milliseconds()
+	}
+	if withReport && j.state == defendDone {
+		st.Report = json.RawMessage(j.report)
+	}
+	return st
+}
+
+// defendRegistry owns every defense-evaluation job of one server:
+// submission, lookup, the run-concurrency semaphore and drain-time
+// cancellation.
+type defendRegistry struct {
+	sem chan struct{}
+	met *metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*defendJob
+	order  []string // insertion order, for bounded eviction
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newDefendRegistry(concurrent int, met *metrics) *defendRegistry {
+	return &defendRegistry{
+		sem:  make(chan struct{}, concurrent),
+		met:  met,
+		jobs: map[string]*defendJob{},
+	}
+}
+
+// maxDefendRecords bounds the registry; above it, submission evicts the
+// oldest finished job or sheds the request.
+const maxDefendRecords = 64
+
+// submit registers a campaign and starts its runner goroutine. The
+// returned error is nil, errQueueFull (registry full of live jobs) or
+// errDraining.
+func (dr *defendRegistry) submit(opts defend.Options) (*defendJob, error) {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	if dr.closed {
+		return nil, errDraining
+	}
+	if len(dr.jobs) >= maxDefendRecords && !dr.evictLocked() {
+		return nil, errQueueFull
+	}
+	dr.nextID++
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &defendJob{
+		id:      fmt.Sprintf("defend-%d", dr.nextID),
+		cancel:  cancel,
+		state:   defendQueued,
+		armDone: map[string]int{},
+	}
+	opts.Progress = j.observe
+	dr.jobs[j.id] = j
+	dr.order = append(dr.order, j.id)
+	dr.met.defendsSubmitted.Add(1)
+	dr.met.defendsActive.Add(1)
+	dr.wg.Add(1)
+	go dr.run(ctx, j, opts)
+	return j, nil
+}
+
+// evictLocked drops the oldest finished job; it reports whether a slot
+// was freed. Callers hold dr.mu.
+func (dr *defendRegistry) evictLocked() bool {
+	for i, id := range dr.order {
+		j := dr.jobs[id]
+		j.mu.Lock()
+		finished := j.finished
+		j.mu.Unlock()
+		if finished {
+			delete(dr.jobs, id)
+			dr.order = append(dr.order[:i], dr.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get looks a job up by ID.
+func (dr *defendRegistry) get(id string) *defendJob {
+	dr.mu.Lock()
+	defer dr.mu.Unlock()
+	return dr.jobs[id]
+}
+
+// run executes one campaign: wait for a concurrency slot, run the
+// evaluation and record the outcome on the job.
+func (dr *defendRegistry) run(ctx context.Context, j *defendJob, opts defend.Options) {
+	defer dr.wg.Done()
+	defer dr.met.defendsActive.Add(-1)
+	finish := func(report []byte, err error) {
+		j.finish(report, err)
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		switch state {
+		case defendDone:
+			dr.met.defendsDone.Add(1)
+		case defendCancelled:
+			dr.met.defendsCancelled.Add(1)
+		default:
+			dr.met.defendsFailed.Add(1)
+		}
+	}
+
+	select {
+	case dr.sem <- struct{}{}:
+		defer func() { <-dr.sem }()
+	case <-ctx.Done():
+		finish(nil, ctx.Err())
+		return
+	}
+	j.setRunning()
+	report, err := defend.Evaluate(ctx, opts)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		finish(nil, err)
+		return
+	}
+	finish(data, nil)
+}
+
+// drain cancels every live campaign and waits for all runner goroutines
+// to exit. Safe to call more than once.
+func (dr *defendRegistry) drain() {
+	dr.mu.Lock()
+	dr.closed = true
+	for _, j := range dr.jobs {
+		j.cancel()
+	}
+	dr.mu.Unlock()
+	dr.wg.Wait()
+}
+
+// ---- HTTP handlers ----
+
+func (s *Server) handleDefendSubmit(w http.ResponseWriter, r *http.Request) {
+	var req defendRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	spec, err := defend.ParseSpec(req.Defense)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Seed < 0 || req.Workers < 0 || req.TVLATraces < 0 || req.CPATraces < 0 ||
+		req.CPAStep < 0 || req.CPAPoints < 0 || req.NoiseStd < 0 {
+		writeError(w, http.StatusBadRequest, "campaign fields must be non-negative")
+		return
+	}
+	if req.TVLATraces > s.cfg.MaxDefendTraces || req.CPATraces > s.cfg.MaxDefendTraces {
+		writeError(w, http.StatusBadRequest, "trace budget exceeds limit %d", s.cfg.MaxDefendTraces)
+		return
+	}
+
+	opts := defend.Options{
+		Model:      s.model,
+		CPU:        s.cfg.CPU,
+		Defense:    spec,
+		Seed:       req.Seed,
+		Workers:    req.Workers,
+		TVLATraces: req.TVLATraces,
+		CPATraces:  req.CPATraces,
+		CPAStep:    req.CPAStep,
+		CPAPoints:  req.CPAPoints,
+		NoiseStd:   req.NoiseStd,
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.cfg.DefendWorkers
+	}
+
+	j, err := s.defends.submit(opts)
+	if err != nil {
+		s.shed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}
+
+func (s *Server) handleDefendStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.defends.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such defense job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleDefendCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.defends.get(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such defense job")
+		return
+	}
+	// Cancellation is asynchronous: the campaign unwinds within one
+	// context-check interval per in-flight worker; poll for "cancelled".
+	j.cancel()
+	writeJSON(w, http.StatusAccepted, j.status(false))
+}

@@ -79,6 +79,12 @@ type metrics struct {
 	trainsFailed    expvar.Int // training jobs that ended in error
 	trainsCancelled expvar.Int // training jobs cancelled by the client or drain
 
+	defendsSubmitted expvar.Int // defense-evaluation jobs accepted
+	defendsActive    expvar.Int // defense-evaluation jobs queued or running
+	defendsDone      expvar.Int // defense-evaluation jobs that produced a report
+	defendsFailed    expvar.Int // defense-evaluation jobs that ended in error
+	defendsCancelled expvar.Int // defense-evaluation jobs cancelled by the client or drain
+
 	vars expvar.Map
 }
 
@@ -97,6 +103,11 @@ func newMetrics() *metrics {
 	m.vars.Set("trains_done", &m.trainsDone)
 	m.vars.Set("trains_failed", &m.trainsFailed)
 	m.vars.Set("trains_cancelled", &m.trainsCancelled)
+	m.vars.Set("defends_submitted", &m.defendsSubmitted)
+	m.vars.Set("defends_active", &m.defendsActive)
+	m.vars.Set("defends_done", &m.defendsDone)
+	m.vars.Set("defends_failed", &m.defendsFailed)
+	m.vars.Set("defends_cancelled", &m.defendsCancelled)
 	return m
 }
 

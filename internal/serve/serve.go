@@ -58,6 +58,16 @@ type Config struct {
 	// MaxTrainRuns caps the runs field of a /v1/train request.
 	// Default 200.
 	MaxTrainRuns int
+	// MaxDefendJobs bounds how many /v1/defend campaigns run
+	// concurrently; excess jobs queue inside the registry. Default 1
+	// (an evaluation is internally parallel already).
+	MaxDefendJobs int
+	// DefendWorkers is the simulation fan-out width of each defense
+	// evaluation; 0 means GOMAXPROCS.
+	DefendWorkers int
+	// MaxDefendTraces caps the tvla_traces and cpa_traces fields of a
+	// /v1/defend request. Default 4096.
+	MaxDefendTraces int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +104,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxTrainRuns <= 0 {
 		c.MaxTrainRuns = 200
 	}
+	if c.MaxDefendJobs <= 0 {
+		c.MaxDefendJobs = 1
+	}
+	if c.MaxDefendTraces <= 0 {
+		c.MaxDefendTraces = 4096
+	}
 	return c
 }
 
@@ -101,12 +117,13 @@ func (c Config) withDefaults() Config {
 // Handler on an http.Server, and Close it (after http.Server.Shutdown)
 // to drain the worker pool.
 type Server struct {
-	model  *core.Model
-	cfg    Config
-	sched  *scheduler
-	met    *metrics
-	trains *trainRegistry
-	mux    *http.ServeMux
+	model   *core.Model
+	cfg     Config
+	sched   *scheduler
+	met     *metrics
+	trains  *trainRegistry
+	defends *defendRegistry
+	mux     *http.ServeMux
 }
 
 // New builds the service: the session pool spins up eagerly so an
@@ -120,6 +137,7 @@ func New(m *core.Model, cfg Config) (*Server, error) {
 	}
 	s := &Server{model: m, cfg: cfg, sched: sched, met: met}
 	s.trains = newTrainRegistry(cfg.MaxTrainJobs, met)
+	s.defends = newDefendRegistry(cfg.MaxDefendJobs, met)
 	met.vars.Set("train_cache", expvar.Func(func() any { return s.trains.cacheStats() }))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -127,6 +145,9 @@ func New(m *core.Model, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/train", s.handleTrainSubmit)
 	s.mux.HandleFunc("GET /v1/train/{id}", s.handleTrainStatus)
 	s.mux.HandleFunc("DELETE /v1/train/{id}", s.handleTrainCancel)
+	s.mux.HandleFunc("POST /v1/defend", s.handleDefendSubmit)
+	s.mux.HandleFunc("GET /v1/defend/{id}", s.handleDefendStatus)
+	s.mux.HandleFunc("DELETE /v1/defend/{id}", s.handleDefendCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	return s, nil
@@ -138,15 +159,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Vars exposes the server's metrics map for global expvar registration.
 func (s *Server) Vars() *expvar.Map { return s.met.Vars() }
 
-// Close drains the worker pool and the training registry: no new jobs
-// are accepted, every queued or in-flight simulation completes
-// (cancelled jobs complete within one context-check interval), and every
-// live training campaign is cancelled and waited out. Call it after
-// http.Server.Shutdown so late handlers see errDraining instead of a
-// send on a closed queue.
+// Close drains the worker pool and the job registries: no new jobs are
+// accepted, every queued or in-flight simulation completes (cancelled
+// jobs complete within one context-check interval), and every live
+// training or defense campaign is cancelled and waited out. Call it
+// after http.Server.Shutdown so late handlers see errDraining instead
+// of a send on a closed queue.
 func (s *Server) Close() {
 	s.sched.drain()
 	s.trains.drain()
+	s.defends.drain()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
