@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"emsim/internal/core"
@@ -72,8 +73,13 @@ func main() {
 		NoiseStd:   *noise,
 	}
 	if *progress {
+		// Simulation workers invoke the callback concurrently, so the
+		// printer state needs its own lock.
+		var progMu sync.Mutex
 		lastArm := ""
 		opts.Progress = func(arm string, done, total int) {
+			progMu.Lock()
+			defer progMu.Unlock()
 			if arm != lastArm {
 				if lastArm != "" {
 					fmt.Fprintln(os.Stderr)

@@ -70,6 +70,9 @@ func main() {
 		log.Fatalf("emsim-serve: %v", err)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -82,6 +85,10 @@ func main() {
 		MaxDefendJobs:   *defJobs,
 		DefendWorkers:   *defWkrs,
 		MaxDefendTraces: *defTraces,
+		// The shutdown signal parents every background campaign, so
+		// hours-long training jobs start unwinding at SIGTERM rather
+		// than at the end of the HTTP drain window.
+		BaseContext: ctx,
 	}
 	cfg.CPU = emsim.DefaultCPUConfig()
 	if *maxCycles > 0 {
@@ -94,8 +101,6 @@ func main() {
 	expvar.Publish("emsim", srv.Vars())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -1,32 +1,76 @@
 // Command emsim-vet runs the project's static-analysis suite over the
 // module. It is the mechanical half of the hot-path contract: the
 // AllocsPerRun tests pin a handful of call sites at runtime, emsim-vet
-// checks every call site at analysis time.
+// checks every call site at analysis time. Alongside the allocation
+// rules it enforces the //emsim:ct constant-time contract (secretflow),
+// mutex critical-section hygiene (lockscope) and cancellation plumbing
+// (ctxflow).
 //
 // Usage:
 //
-//	go run ./cmd/emsim-vet ./...
+//	go run ./cmd/emsim-vet [-json] ./...
 //
 // Findings print one per line as file:line:col: message [analyzer] and
 // any finding makes the exit status 1, so the command slots directly
-// into CI. Suppress an individual finding with
-// //emsim:ignore <analyzer> <reason> on the flagged line or the line
-// above it; the reason is mandatory.
+// into CI; -json instead emits the full machine-readable report
+// (findings, per-analyzer counts, suppression and annotation totals) on
+// stdout. A per-analyzer summary always prints on stderr, pass or fail.
+// Suppress an individual finding with //emsim:ignore <analyzer>
+// <reason> on the flagged line or the line above it; the reason is
+// mandatory, and a suppression that matches no finding is itself
+// reported as stale.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"emsim/internal/analysis"
+	"emsim/internal/analysis/ctxflow"
 	"emsim/internal/analysis/determinism"
 	"emsim/internal/analysis/floatcmp"
+	"emsim/internal/analysis/lockscope"
 	"emsim/internal/analysis/noalloc"
+	"emsim/internal/analysis/secretflow"
 	"emsim/internal/analysis/stageexhaustive"
 )
 
+// analyzers is the suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	noalloc.Analyzer,
+	stageexhaustive.Analyzer,
+	floatcmp.Analyzer,
+	determinism.Analyzer,
+	secretflow.Analyzer,
+	lockscope.Analyzer,
+	ctxflow.Analyzer,
+}
+
+// jsonFinding is one diagnostic in the -json report.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
+// report is the -json output shape.
+type report struct {
+	OK          bool                             `json:"ok"`
+	Packages    int                              `json:"packages"`
+	Suppressed  int                              `json:"suppressed"`
+	Findings    []jsonFinding                    `json:"findings"`
+	Analyzers   map[string]analysis.AnalyzerStat `json:"analyzers"`
+	Annotations map[string]int                   `json:"annotations"`
+}
+
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit the machine-readable report on stdout")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -34,27 +78,84 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := analysis.Load(dir, patterns...)
+	loaded, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := analysis.Run(res.Packages, res.Module, []*analysis.Analyzer{
-		noalloc.Analyzer,
-		stageexhaustive.Analyzer,
-		floatcmp.Analyzer,
-		determinism.Analyzer,
-	})
+	res, err := analysis.RunAll(loaded.Packages, loaded.Module, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	rep := buildReport(res, loaded.Module)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "emsim-vet: %d finding(s) in %d package(s) (%d noalloc annotations checked)\n",
-			len(findings), len(res.Packages), res.Module.NoallocCount())
+
+	for _, name := range statOrder() {
+		stat := res.Stats[name]
+		if stat.Findings == 0 && stat.Suppressed == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "emsim-vet: %s: %d finding(s), %d suppressed\n", name, stat.Findings, stat.Suppressed)
+	}
+	status := "ok"
+	if !rep.OK {
+		status = "FAIL"
+	}
+	fmt.Fprintf(os.Stderr, "emsim-vet: %s: %d finding(s) in %d package(s), %d suppression(s) honored (%d noalloc, %d ct, %d secret-field annotations)\n",
+		status, len(res.Findings), res.Packages, res.Suppressed,
+		loaded.Module.NoallocCount(), loaded.Module.CTCount(), loaded.Module.SecretFieldCount())
+	if !rep.OK {
 		os.Exit(1)
 	}
+}
+
+// buildReport flattens an analysis result into the -json shape.
+func buildReport(res *analysis.Result, mod *analysis.ModuleInfo) report {
+	rep := report{
+		OK:         len(res.Findings) == 0,
+		Packages:   res.Packages,
+		Suppressed: res.Suppressed,
+		Findings:   []jsonFinding{},
+		Analyzers:  map[string]analysis.AnalyzerStat{},
+		Annotations: map[string]int{
+			"noalloc":      mod.NoallocCount(),
+			"ct":           mod.CTCount(),
+			"secret_field": mod.SecretFieldCount(),
+		},
+	}
+	for _, f := range res.Findings {
+		rep.Findings = append(rep.Findings, jsonFinding{
+			Analyzer: f.Analyzer,
+			File:     f.Position.Filename,
+			Line:     f.Position.Line,
+			Column:   f.Position.Column,
+			Message:  f.Message,
+		})
+	}
+	for name, stat := range res.Stats {
+		rep.Analyzers[name] = stat
+	}
+	return rep
+}
+
+// statOrder returns the analyzer names in suite order with the
+// suppression pseudo-analyzer last.
+func statOrder() []string {
+	names := make([]string, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	return append(names, analysis.SuppressionAnalyzer)
 }
 
 func fatal(err error) {

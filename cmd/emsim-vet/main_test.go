@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis"
+	"emsim/internal/analysis/analysistest"
+)
+
+// TestStaleSuppressionDriver runs the full driver suite over a fixture
+// package carrying one honored and one stale //emsim:ignore directive:
+// the honored one silences its finding without surfacing, the stale one
+// is reported.
+func TestStaleSuppressionDriver(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "stale"), analyzers...)
+}
+
+// TestBuildReport pins the -json output shape CI consumes.
+func TestBuildReport(t *testing.T) {
+	res := &analysis.Result{
+		Findings: []analysis.Finding{{
+			Analyzer: "lockscope",
+			Position: token.Position{Filename: "x.go", Line: 12, Column: 3},
+			Message:  "channel send on ch while mu is held",
+		}},
+		Packages:   4,
+		Suppressed: 2,
+		Stats: map[string]analysis.AnalyzerStat{
+			"lockscope": {Findings: 1},
+			"noalloc":   {Suppressed: 2},
+		},
+	}
+	mod := analysis.NewModuleInfo()
+	mod.AddNoalloc("p.f")
+	mod.AddCT("p.g")
+	mod.AddSecretField("p.T.Key")
+
+	rep := buildReport(res, mod)
+	if rep.OK {
+		t.Error("report with findings must not be ok")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		OK         bool `json:"ok"`
+		Packages   int  `json:"packages"`
+		Suppressed int  `json:"suppressed"`
+		Findings   []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+		Analyzers map[string]struct {
+			Findings   int `json:"findings"`
+			Suppressed int `json:"suppressed"`
+		} `json:"analyzers"`
+		Annotations map[string]int `json:"annotations"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.OK || decoded.Packages != 4 || decoded.Suppressed != 2 {
+		t.Errorf("header = ok=%v packages=%d suppressed=%d, want false/4/2",
+			decoded.OK, decoded.Packages, decoded.Suppressed)
+	}
+	if len(decoded.Findings) != 1 {
+		t.Fatalf("findings = %v, want one", decoded.Findings)
+	}
+	f := decoded.Findings[0]
+	if f.Analyzer != "lockscope" || f.File != "x.go" || f.Line != 12 || f.Column != 3 ||
+		f.Message != "channel send on ch while mu is held" {
+		t.Errorf("finding = %+v", f)
+	}
+	if decoded.Analyzers["noalloc"].Suppressed != 2 || decoded.Analyzers["lockscope"].Findings != 1 {
+		t.Errorf("analyzers = %v", decoded.Analyzers)
+	}
+	want := map[string]int{"noalloc": 1, "ct": 1, "secret_field": 1}
+	for k, n := range want {
+		if decoded.Annotations[k] != n {
+			t.Errorf("annotations[%s] = %d, want %d", k, decoded.Annotations[k], n)
+		}
+	}
+
+	// An empty result is ok and serializes findings as [], not null.
+	empty := buildReport(&analysis.Result{Stats: map[string]analysis.AnalyzerStat{}}, analysis.NewModuleInfo())
+	if !empty.OK {
+		t.Error("empty report must be ok")
+	}
+	data, err = json.Marshal(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["findings"]) != "[]" {
+		t.Errorf(`empty findings serialize as %s, want []`, raw["findings"])
+	}
+}

@@ -1,0 +1,20 @@
+// Package stale exercises suppression hygiene end to end through the
+// full driver suite: an honored suppression stays silent, while one that
+// no longer matches any finding is itself reported.
+package stale
+
+// hot carries an acknowledged allocation: the directive filters a real
+// noalloc diagnostic, so it is used and must not be reported stale.
+//
+//emsim:noalloc
+func hot(n int) int {
+	//emsim:ignore noalloc deliberate allocation kept for the fixture
+	xs := make([]int, n)
+	return len(xs)
+}
+
+// cold allocates nothing, so the directive below silences nothing.
+func cold(n int) int {
+	//emsim:ignore noalloc obsolete exemption left behind // want `emsim:ignore noalloc matched no finding; remove the stale suppression`
+	return n + 1
+}

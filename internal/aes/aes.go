@@ -35,7 +35,12 @@ var sbox = [256]byte{
 
 var rcon = [11]byte{0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
 
-// ExpandKey computes the 176-byte AES-128 key schedule.
+// ExpandKey computes the 176-byte AES-128 key schedule. The schedule is
+// constant-time except for the S-box substitution in the g-function,
+// which is the table lookup the leakage model exists to expose.
+//
+//emsim:ct
+//emsim:secret key
 func ExpandKey(key [16]byte) [176]byte {
 	var rk [176]byte
 	copy(rk[:16], key[:])
@@ -45,6 +50,7 @@ func ExpandKey(key [16]byte) [176]byte {
 		if i%4 == 0 {
 			temp[0], temp[1], temp[2], temp[3] = temp[1], temp[2], temp[3], temp[0]
 			for j := range temp {
+				//emsim:ignore secretflow key-schedule S-box lookup is the data-dependent table access the EM leakage model depends on
 				temp[j] = sbox[temp[j]]
 			}
 			temp[0] ^= rcon[i/4]
@@ -70,6 +76,10 @@ func Reference(key, plaintext [16]byte) [16]byte {
 
 // leWord packs 4 bytes little-endian, which on the little-endian core
 // makes byte 0 (AES row 0) the least significant byte of a column word.
+// Pure shifts and ors: safe for round-key material.
+//
+//emsim:ct
+//emsim:secret b
 func leWord(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
@@ -120,7 +130,12 @@ var shiftedCols = [4]isa.Reg{outA, outB, outC, outD}
 // schedule runs "offline", as in the paper's measurement setup); the code
 // performs AddRoundKey, 9 full rounds (SubBytes+ShiftRows in registers
 // via S-box loads, MixColumns with the xtime word trick, AddRoundKey) and
-// the final round, then stores the ciphertext and halts.
+// the final round, then stores the ciphertext and halts. The generated
+// instruction sequence is identical for every key — only the embedded
+// round-key data words differ — so program shape cannot leak the key.
+//
+//emsim:ct
+//emsim:secret key
 func BuildProgram(key, plaintext [16]byte) (*Program, error) {
 	rk := ExpandKey(key)
 	b := asm.NewBuilder()
@@ -164,6 +179,7 @@ func BuildProgram(key, plaintext [16]byte) (*Program, error) {
 	b.Words(0, 0, 0, 0)
 	b.Label("roundkeys")
 	for i := 0; i < 44; i++ {
+		//emsim:ignore secretflow the round keys are embedded in the device-under-test image by design; the image is what the simulator attacks
 		b.Word(leWord(rk[4*i : 4*i+4]))
 	}
 	b.Label("sbox")
@@ -269,4 +285,8 @@ func ror(b *asm.Builder, dst, src isa.Reg, n int32) {
 
 // SBox returns the AES forward S-box substitution of b, for building
 // leakage hypotheses (e.g. CPA on the first-round S-box output).
+//
+//emsim:ct
+//emsim:secret b
+//emsim:ignore secretflow the S-box table lookup is the modeled leak; hypothesis building replays it deliberately
 func SBox(b byte) byte { return sbox[b] }

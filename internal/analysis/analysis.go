@@ -20,7 +20,20 @@
 //	    and on the line directly below it. The reason is mandatory; a
 //	    reason-less suppression is itself reported and suppresses
 //	    nothing. The reason ends at the first "//", so test scaffolding
-//	    (or a second comment) on the same line is not swallowed.
+//	    (or a second comment) on the same line is not swallowed. A
+//	    suppression that silences nothing — no finding matched it and no
+//	    analyzer consulted it — is stale and is itself reported, so dead
+//	    exemptions cannot accumulate.
+//
+//	//emsim:ct
+//	    placed in a function's doc comment, declares that the function
+//	    must be constant-time with respect to its secret inputs. The
+//	    secretflow analyzer verifies the declaration.
+//
+//	//emsim:secret <param> [param...]
+//	    in a //emsim:ct function's doc comment, names the parameters
+//	    that carry secret data. On a struct field's doc comment (no
+//	    arguments) it marks the field itself as secret, module-wide.
 package analysis
 
 import (
@@ -57,16 +70,22 @@ type Pass struct {
 	Module *ModuleInfo
 
 	diagnostics []diagnostic
-	suppressed  map[string]suppression
+	suppressed  map[string]*suppression
 }
 
 // SuppressedAt reports whether a finding by this pass's analyzer at pos
 // would be silenced by an //emsim:ignore directive. Analyzers whose
 // checks propagate (noalloc's callee inheritance) use this to stop
-// propagation through an acknowledged exception.
+// propagation through an acknowledged exception. Consulting a
+// suppression counts as using it for the stale-suppression check, since
+// the directive changed the analyzer's behavior even though no
+// diagnostic was filed.
 func (p *Pass) SuppressedAt(pos token.Pos) bool {
 	position := p.Fset.Position(pos)
-	_, ok := p.suppressed[suppressKey(p.Analyzer.Name, position.Filename, position.Line)]
+	s, ok := p.suppressed[suppressKey(p.Analyzer.Name, position.Filename, position.Line)]
+	if ok {
+		s.used = true
+	}
 	return ok
 }
 
@@ -105,6 +124,7 @@ type suppression struct {
 	analyzer string
 	reason   string
 	pos      token.Pos
+	used     bool // filtered a diagnostic or was consulted via SuppressedAt
 }
 
 // parseSuppressions extracts every //emsim:ignore directive from the
@@ -138,44 +158,95 @@ func parseSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
 	return out
 }
 
+// AnalyzerStat counts one analyzer's outcomes across the whole run.
+type AnalyzerStat struct {
+	Findings   int `json:"findings"`
+	Suppressed int `json:"suppressed"`
+}
+
+// Result is the full outcome of a RunAll: the surviving findings plus
+// the bookkeeping a driver needs for summaries and machine output.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position.
+	Findings []Finding
+	// Packages is the number of packages analyzed.
+	Packages int
+	// Suppressed is the number of diagnostics silenced by //emsim:ignore
+	// directives (a directive covering two diagnostics counts twice).
+	Suppressed int
+	// Stats breaks findings and suppressions down per analyzer (the
+	// SuppressionAnalyzer pseudo-entry counts directive hygiene
+	// findings).
+	Stats map[string]AnalyzerStat
+}
+
 // Run applies every analyzer to every package, resolves suppressions, and
-// returns the surviving findings sorted by position. Malformed
-// suppressions (missing analyzer name or reason, or naming an analyzer
-// that does not exist) are themselves reported.
+// returns the surviving findings sorted by position. It is RunAll
+// without the summary bookkeeping.
 func Run(pkgs []*Package, mod *ModuleInfo, analyzers []*Analyzer) ([]Finding, error) {
+	res, err := RunAll(pkgs, mod, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunAll applies every analyzer to every package, resolves suppressions,
+// and returns the surviving findings sorted by position along with
+// per-analyzer statistics. Malformed suppressions (missing analyzer name
+// or reason, or naming an analyzer that does not exist) are themselves
+// reported, as are stale ones: a well-formed suppression that neither
+// filtered a diagnostic nor was consulted by its analyzer silences
+// nothing and is reported so dead exemptions cannot accumulate.
+func RunAll(pkgs []*Package, mod *ModuleInfo, analyzers []*Analyzer) (*Result, error) {
 	known := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
-	var findings []Finding
+	res := &Result{Packages: len(pkgs), Stats: map[string]AnalyzerStat{}}
+	report := func(f Finding, suppressedBy *suppression) {
+		stat := res.Stats[f.Analyzer]
+		if suppressedBy != nil {
+			suppressedBy.used = true
+			stat.Suppressed++
+			res.Suppressed++
+		} else {
+			stat.Findings++
+			res.Findings = append(res.Findings, f)
+		}
+		res.Stats[f.Analyzer] = stat
+	}
 	for _, pkg := range pkgs {
 		sups := parseSuppressions(pkg.Fset, pkg.Files)
-		active := map[string]suppression{}
-		for _, s := range sups {
+		active := map[string]*suppression{}
+		var wellFormed []*suppression
+		for i := range sups {
+			s := &sups[i]
 			switch {
 			case s.analyzer == "":
-				findings = append(findings, Finding{
+				report(Finding{
 					Analyzer: SuppressionAnalyzer,
 					Position: pkg.Fset.Position(s.pos),
 					Message:  "emsim:ignore needs an analyzer name and a reason",
-				})
+				}, nil)
 			case !known[s.analyzer]:
-				findings = append(findings, Finding{
+				report(Finding{
 					Analyzer: SuppressionAnalyzer,
 					Position: pkg.Fset.Position(s.pos),
 					Message:  fmt.Sprintf("emsim:ignore names unknown analyzer %q", s.analyzer),
-				})
+				}, nil)
 			case s.reason == "":
-				findings = append(findings, Finding{
+				report(Finding{
 					Analyzer: SuppressionAnalyzer,
 					Position: pkg.Fset.Position(s.pos),
 					Message:  fmt.Sprintf("emsim:ignore %s is missing its required reason", s.analyzer),
-				})
+				}, nil)
 			default:
 				// The directive covers its own line and the next one, so
 				// it can trail the flagged statement or sit above it.
 				active[suppressKey(s.analyzer, s.file, s.line)] = s
 				active[suppressKey(s.analyzer, s.file, s.line+1)] = s
+				wellFormed = append(wellFormed, s)
 			}
 		}
 		for _, a := range analyzers {
@@ -193,13 +264,22 @@ func Run(pkgs []*Package, mod *ModuleInfo, analyzers []*Analyzer) ([]Finding, er
 			}
 			for _, d := range pass.diagnostics {
 				pos := pkg.Fset.Position(d.pos)
-				if _, ok := active[suppressKey(a.Name, pos.Filename, pos.Line)]; ok {
-					continue
-				}
-				findings = append(findings, Finding{Analyzer: a.Name, Position: pos, Message: d.message})
+				f := Finding{Analyzer: a.Name, Position: pos, Message: d.message}
+				report(f, active[suppressKey(a.Name, pos.Filename, pos.Line)])
 			}
 		}
+		for _, s := range wellFormed {
+			if s.used {
+				continue
+			}
+			report(Finding{
+				Analyzer: SuppressionAnalyzer,
+				Position: pkg.Fset.Position(s.pos),
+				Message:  fmt.Sprintf("emsim:ignore %s matched no finding; remove the stale suppression", s.analyzer),
+			}, nil)
+		}
 	}
+	findings := res.Findings
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -213,7 +293,7 @@ func Run(pkgs []*Package, mod *ModuleInfo, analyzers []*Analyzer) ([]Finding, er
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return res, nil
 }
 
 func suppressKey(analyzer, file string, line int) string {
@@ -223,11 +303,37 @@ func suppressKey(analyzer, file string, line int) string {
 // FuncHasDirective reports whether the function's doc comment contains
 // the given comment directive (for example "emsim:noalloc").
 func FuncHasDirective(decl *ast.FuncDecl, directive string) bool {
+	return commentGroupHasDirective(decl.Doc, directive)
+}
+
+// FuncDirectiveArgs returns the space-separated arguments of every
+// occurrence of the directive in the function's doc comment, in order.
+// The second result reports whether the directive appears at all (a
+// bare directive yields ok with no arguments).
+func FuncDirectiveArgs(decl *ast.FuncDecl, directive string) (args []string, ok bool) {
 	if decl.Doc == nil {
-		return false
+		return nil, false
 	}
 	want := "//" + directive
 	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		switch {
+		case text == want:
+			ok = true
+		case strings.HasPrefix(text, want+" "):
+			ok = true
+			args = append(args, strings.Fields(strings.TrimPrefix(text, want+" "))...)
+		}
+	}
+	return args, ok
+}
+
+func commentGroupHasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	want := "//" + directive
+	for _, c := range doc.List {
 		text := strings.TrimSpace(c.Text)
 		if text == want || strings.HasPrefix(text, want+" ") {
 			return true
@@ -241,12 +347,18 @@ func FuncHasDirective(decl *ast.FuncDecl, directive string) bool {
 // type-checking model (imported packages come from export data, which
 // carries no comments).
 type ModuleInfo struct {
-	noalloc map[string]bool
+	noalloc     map[string]bool
+	ct          map[string]bool
+	secretField map[string]bool
 }
 
 // NewModuleInfo returns an empty fact set.
 func NewModuleInfo() *ModuleInfo {
-	return &ModuleInfo{noalloc: map[string]bool{}}
+	return &ModuleInfo{
+		noalloc:     map[string]bool{},
+		ct:          map[string]bool{},
+		secretField: map[string]bool{},
+	}
 }
 
 // AddNoalloc records that the function identified by key carries the
@@ -262,6 +374,37 @@ func (m *ModuleInfo) IsNoallocFunc(fn *types.Func) bool { return m.noalloc[FuncK
 
 // NoallocCount returns the number of annotated functions (for reporting).
 func (m *ModuleInfo) NoallocCount() int { return len(m.noalloc) }
+
+// AddCT records that the function identified by key carries the
+// //emsim:ct annotation.
+func (m *ModuleInfo) AddCT(key string) { m.ct[key] = true }
+
+// IsCTKey reports whether the function identified by key is annotated
+// //emsim:ct.
+func (m *ModuleInfo) IsCTKey(key string) bool { return m.ct[key] }
+
+// IsCTFunc reports whether fn is annotated //emsim:ct.
+func (m *ModuleInfo) IsCTFunc(fn *types.Func) bool { return m.ct[FuncKey(fn)] }
+
+// CTCount returns the number of //emsim:ct functions (for reporting).
+func (m *ModuleInfo) CTCount() int { return len(m.ct) }
+
+// AddSecretField records that the struct field identified by key (see
+// FieldKey) carries the //emsim:secret annotation.
+func (m *ModuleInfo) AddSecretField(key string) { m.secretField[key] = true }
+
+// IsSecretField reports whether the struct field identified by key is
+// annotated //emsim:secret.
+func (m *ModuleInfo) IsSecretField(key string) bool { return m.secretField[key] }
+
+// SecretFieldCount returns the number of //emsim:secret struct fields.
+func (m *ModuleInfo) SecretFieldCount() int { return len(m.secretField) }
+
+// FieldKey returns the module-wide key of a struct field:
+// "pkgpath.Type.Field".
+func FieldKey(pkgPath, typeName, fieldName string) string {
+	return pkgPath + "." + typeName + "." + fieldName
+}
 
 // FuncKey returns the module-wide key of a function object:
 // "pkgpath.Func" for package functions and "pkgpath.Type.Method" for
@@ -284,16 +427,50 @@ func FuncKey(fn *types.Func) string {
 	return pkg.Path() + "." + fn.Name()
 }
 
-// CollectAnnotations scans a package's syntax for //emsim:noalloc
-// directives and records them in m under pkgPath.
+// CollectAnnotations scans a package's syntax for //emsim:noalloc and
+// //emsim:ct function directives and //emsim:secret struct-field
+// directives, recording them in m under pkgPath.
 func (m *ModuleInfo) CollectAnnotations(pkgPath string, files []*ast.File) {
 	for _, f := range files {
 		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || !FuncHasDirective(fd, "emsim:noalloc") {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if FuncHasDirective(decl, "emsim:noalloc") {
+					m.AddNoalloc(declKey(pkgPath, decl))
+				}
+				if FuncHasDirective(decl, "emsim:ct") {
+					m.AddCT(declKey(pkgPath, decl))
+				}
+			case *ast.GenDecl:
+				m.collectSecretFields(pkgPath, decl)
+			}
+		}
+	}
+}
+
+// collectSecretFields records //emsim:secret directives found on struct
+// field doc comments inside a type declaration.
+func (m *ModuleInfo) collectSecretFields(pkgPath string, decl *ast.GenDecl) {
+	if decl.Tok != token.TYPE {
+		return
+	}
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			continue
+		}
+		for _, field := range st.Fields.List {
+			if !commentGroupHasDirective(field.Doc, "emsim:secret") &&
+				!commentGroupHasDirective(field.Comment, "emsim:secret") {
 				continue
 			}
-			m.AddNoalloc(declKey(pkgPath, fd))
+			for _, name := range field.Names {
+				m.AddSecretField(FieldKey(pkgPath, ts.Name.Name, name.Name))
+			}
 		}
 	}
 }

@@ -1,0 +1,332 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"emsim/internal/analysis"
+)
+
+// markAnalyzer flags every call to a function named mark — a minimal
+// analyzer with predictable positions for exercising the suppression
+// machinery.
+var markAnalyzer = &analysis.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags every call to mark",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+					pass.Reportf(call.Pos(), "call to mark")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// loadSource type-checks one in-memory file into an analysis.Package.
+func loadSource(t *testing.T, src string) *analysis.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("t", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Package{
+		ImportPath: "t",
+		Fset:       fset,
+		Files:      []*ast.File{file},
+		Types:      pkg,
+		TypesInfo:  info,
+	}
+}
+
+func runOn(t *testing.T, src string) *analysis.Result {
+	t.Helper()
+	pkg := loadSource(t, src)
+	res, err := analysis.RunAll([]*analysis.Package{pkg}, analysis.NewModuleInfo(), []*analysis.Analyzer{markAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSuppressionCoversOnlyTheNextLine(t *testing.T) {
+	// The directive covers its own line and the line directly below —
+	// not the whole statement. The first operand of the multi-line
+	// expression is silenced; the continuation line still reports.
+	res := runOn(t, `package t
+
+func mark(n int) int { return n }
+
+func f() int {
+	//emsim:ignore testcheck first operand acknowledged
+	return mark(1) +
+		mark(2)
+}
+`)
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	if len(res.Findings) != 1 || !strings.Contains(res.Findings[0].Message, "call to mark") {
+		t.Fatalf("findings = %v, want the continuation-line call to survive", res.Findings)
+	}
+	if res.Findings[0].Position.Line != 8 {
+		t.Errorf("surviving finding at line %d, want 8 (the continuation line)", res.Findings[0].Position.Line)
+	}
+	if st := res.Stats["testcheck"]; st.Findings != 1 || st.Suppressed != 1 {
+		t.Errorf("testcheck stats = %+v, want 1 finding / 1 suppressed", st)
+	}
+}
+
+func TestSuppressionWrongAnalyzerName(t *testing.T) {
+	// A directive naming an unknown analyzer silences nothing and is
+	// itself reported; the finding it sat above survives.
+	res := runOn(t, `package t
+
+func mark(n int) int { return n }
+
+func f() int {
+	//emsim:ignore nosuch misspelled analyzer
+	return mark(1)
+}
+`)
+	if res.Suppressed != 0 {
+		t.Errorf("Suppressed = %d, want 0", res.Suppressed)
+	}
+	var gotMark, gotHygiene bool
+	for _, f := range res.Findings {
+		switch f.Analyzer {
+		case "testcheck":
+			gotMark = true
+		case analysis.SuppressionAnalyzer:
+			gotHygiene = true
+			if !strings.Contains(f.Message, `unknown analyzer "nosuch"`) {
+				t.Errorf("hygiene message = %q", f.Message)
+			}
+		}
+	}
+	if !gotMark || !gotHygiene {
+		t.Errorf("findings = %v, want both the mark call and the unknown-analyzer report", res.Findings)
+	}
+}
+
+func TestSuppressionCoversTwoFindingsOnOneLine(t *testing.T) {
+	// One directive above a line with two diagnostics silences both, and
+	// each silenced diagnostic counts separately.
+	res := runOn(t, `package t
+
+func mark(n int) int { return n }
+
+func f() int {
+	//emsim:ignore testcheck both calls deliberate
+	return mark(1) + mark(2)
+}
+`)
+	if len(res.Findings) != 0 {
+		t.Errorf("findings = %v, want none", res.Findings)
+	}
+	if res.Suppressed != 2 {
+		t.Errorf("Suppressed = %d, want 2 (one per silenced diagnostic)", res.Suppressed)
+	}
+}
+
+func TestSuppressionMissingReason(t *testing.T) {
+	res := runOn(t, `package t
+
+func mark(n int) int { return n }
+
+func f() int {
+	//emsim:ignore testcheck
+	return mark(1)
+}
+`)
+	var gotHygiene bool
+	for _, f := range res.Findings {
+		if f.Analyzer == analysis.SuppressionAnalyzer && strings.Contains(f.Message, "missing its required reason") {
+			gotHygiene = true
+		}
+	}
+	if !gotHygiene {
+		t.Errorf("findings = %v, want a missing-reason report", res.Findings)
+	}
+	if res.Suppressed != 0 {
+		t.Errorf("Suppressed = %d, want 0 (a reason-less directive silences nothing)", res.Suppressed)
+	}
+}
+
+func TestStaleSuppressionReported(t *testing.T) {
+	// A well-formed directive that filters nothing and is never consulted
+	// is dead weight and must be reported.
+	res := runOn(t, `package t
+
+func clean(n int) int { return n }
+
+func f() int {
+	//emsim:ignore testcheck nothing flagged here anymore
+	return clean(1)
+}
+`)
+	if len(res.Findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the stale report", res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Analyzer != analysis.SuppressionAnalyzer || !strings.Contains(f.Message, "matched no finding") {
+		t.Errorf("finding = %v, want a stale-suppression report", f)
+	}
+	if st := res.Stats[analysis.SuppressionAnalyzer]; st.Findings != 1 {
+		t.Errorf("suppression stats = %+v, want the stale report counted", st)
+	}
+}
+
+func TestSuppressedAtMarksDirectiveUsed(t *testing.T) {
+	// An analyzer consulting SuppressedAt (propagation stops, like
+	// noalloc's callee inheritance) counts as using the directive even
+	// when no diagnostic was filed, so it must not be reported stale.
+	consulting := &analysis.Analyzer{
+		Name: "testcheck",
+		Doc:  "consults suppressions at every mark call without reporting",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+							pass.SuppressedAt(call.Pos())
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	pkg := loadSource(t, `package t
+
+func mark(n int) int { return n }
+
+func f() int {
+	//emsim:ignore testcheck propagation stop, consulted not filtered
+	return mark(1)
+}
+`)
+	res, err := analysis.RunAll([]*analysis.Package{pkg}, analysis.NewModuleInfo(), []*analysis.Analyzer{consulting})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("findings = %v, want none (consulted directive is not stale)", res.Findings)
+	}
+}
+
+// parseDecl returns the first function declaration of src.
+func parseDecl(t *testing.T, src string) *ast.FuncDecl {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil
+}
+
+func TestFuncHasDirective(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want bool
+	}{
+		{"doc group", `package t
+
+// f does things.
+//
+//emsim:ct
+func f() {}
+`, true},
+		{"bare line comment", `package t
+
+//emsim:ct
+func f() {}
+`, true},
+		{"detached comment", `package t
+
+//emsim:ct
+
+func f() {}
+`, false},
+		{"directive with args", `package t
+
+//emsim:ct extra words
+func f() {}
+`, true},
+		{"prefix is not a match", `package t
+
+//emsim:ctxflow
+func f() {}
+`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fd := parseDecl(t, tc.src)
+			if got := analysis.FuncHasDirective(fd, "emsim:ct"); got != tc.want {
+				t.Errorf("FuncHasDirective = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFuncDirectiveArgs(t *testing.T) {
+	fd := parseDecl(t, `package t
+
+// f is annotated twice; the argument lists concatenate in order.
+//
+//emsim:secret key nonce
+//emsim:secret extra
+func f(key, nonce, extra []byte) {}
+`)
+	args, ok := analysis.FuncDirectiveArgs(fd, "emsim:secret")
+	if !ok {
+		t.Fatal("directive not found")
+	}
+	want := []string{"key", "nonce", "extra"}
+	if len(args) != len(want) {
+		t.Fatalf("args = %v, want %v", args, want)
+	}
+	for i := range want {
+		if args[i] != want[i] {
+			t.Fatalf("args = %v, want %v", args, want)
+		}
+	}
+
+	bare := parseDecl(t, `package t
+
+//emsim:ct
+func f() {}
+`)
+	if args, ok := analysis.FuncDirectiveArgs(bare, "emsim:ct"); !ok || len(args) != 0 {
+		t.Errorf("bare directive = (%v, %v), want (none, true)", args, ok)
+	}
+	if _, ok := analysis.FuncDirectiveArgs(bare, "emsim:secret"); ok {
+		t.Error("absent directive reported present")
+	}
+}

@@ -1,0 +1,18 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), ctxflow.New("a"))
+}
+
+// TestScope verifies the analyzer is inert outside its package set.
+func TestScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), ctxflow.New("a"))
+}

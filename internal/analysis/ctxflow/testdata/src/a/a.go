@@ -1,0 +1,86 @@
+// Package a exercises the ctxflow analyzer: dropped context
+// parameters, background contexts in library code, and goroutines
+// without a lifecycle, plus the clean shapes and a justified
+// suppression.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func dropped(ctx context.Context, n int) int { // want `context parameter ctx is never used in dropped; thread it through or remove it`
+	return n * 2
+}
+
+// used is clean: the context steers the work.
+func used(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// anonymous is clean: an unnamed context (interface conformance) is not
+// a dropped one.
+func anonymous(_ context.Context, n int) int {
+	return n
+}
+
+func background() context.Context {
+	return context.Background() // want `context\.Background in library code severs cancellation; accept a caller context`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO in library code severs cancellation; accept a caller context`
+}
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+// convenience shows the documented-wrapper pattern: the background
+// context is deliberate and carries a reason.
+func convenience() error {
+	//emsim:ignore ctxflow documented blocking convenience form for callers without a context
+	return run(context.Background())
+}
+
+func orphan() {
+	go func() { // want `goroutine launched without a cancellation or join path`
+		println("work")
+	}()
+}
+
+func plain() { println("x") }
+
+func orphanNamed() {
+	go plain() // want `goroutine launched without a cancellation or join path`
+}
+
+// withCtx is clean: the goroutine captures the caller's context.
+func withCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// withWg is clean: the WaitGroup is a join path.
+func withWg(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// namedWithArg is clean: the context rides along as an argument.
+func namedWithArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+type svc struct{ wg sync.WaitGroup }
+
+func (s *svc) loop() { s.wg.Done() }
+
+// start is clean: the same-package callee's body joins the WaitGroup.
+func (s *svc) start() {
+	s.wg.Add(1)
+	go s.loop()
+}

@@ -1,0 +1,16 @@
+// Package b verifies ctxflow is inert outside its package scope.
+package b
+
+import "context"
+
+func background() context.Context {
+	return context.Background()
+}
+
+func dropped(ctx context.Context, n int) int {
+	return n
+}
+
+func orphan() {
+	go func() { println("work") }()
+}

@@ -1,0 +1,18 @@
+package lockscope_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/lockscope"
+)
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), lockscope.New("a"))
+}
+
+// TestScope verifies the analyzer is inert outside its package set.
+func TestScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "b"), lockscope.New("a"))
+}

@@ -1,0 +1,148 @@
+// Package a exercises the lockscope analyzer: blocking operations and
+// missed unlocks inside critical sections, plus the clean shapes the
+// real packages rely on (defer-unlock, select with default, Cond.Wait).
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type reg struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	wg   sync.WaitGroup
+	ch   chan int
+	vals map[int]int
+	fn   func()
+}
+
+func (r *reg) sendUnderLock(v int) {
+	r.mu.Lock()
+	r.ch <- v // want `channel send while r\.mu is held in sendUnderLock`
+	r.mu.Unlock()
+}
+
+func (r *reg) recvUnderLock() int {
+	r.mu.Lock()
+	v := <-r.ch // want `channel receive while r\.mu is held in recvUnderLock`
+	r.mu.Unlock()
+	return v
+}
+
+func (r *reg) waitUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wg.Wait() // want `WaitGroup\.Wait while r\.mu is held in waitUnderLock`
+}
+
+func (r *reg) sleepUnderLock() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while r\.mu is held in sleepUnderLock`
+	r.mu.Unlock()
+}
+
+func (r *reg) ioUnderLock() {
+	r.rw.RLock()
+	os.Getenv("HOME") // want `I/O call os\.Getenv while r\.rw is held in ioUnderLock`
+	r.rw.RUnlock()
+}
+
+func (r *reg) callbackUnderLock() {
+	r.mu.Lock()
+	r.fn() // want `call through function-typed field fn while r\.mu is held in callbackUnderLock`
+	r.mu.Unlock()
+}
+
+func (r *reg) funcValueUnderLock(f func()) {
+	r.mu.Lock()
+	f() // want `call through function value f while r\.mu is held in funcValueUnderLock`
+	r.mu.Unlock()
+}
+
+func (r *reg) selectUnderLock() {
+	r.mu.Lock()
+	select { // want `select without default while r\.mu is held in selectUnderLock`
+	case v := <-r.ch:
+		r.vals[v] = v
+	case r.ch <- 1:
+	}
+	r.mu.Unlock()
+}
+
+// selectWithDefault is clean: a select with a default clause cannot
+// block, so its comm cases are attempts, not blocking points.
+func (r *reg) selectWithDefault(v int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case r.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (r *reg) earlyReturn(k int) int {
+	r.mu.Lock()
+	if v, ok := r.vals[k]; ok {
+		return v // want `return while r\.mu is held in earlyReturn; defer the unlock`
+	}
+	r.mu.Unlock()
+	return 0
+}
+
+// deferred is clean: the deferred unlock covers every return.
+func (r *reg) deferred(k int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.vals[k]; ok {
+		return v
+	}
+	return 0
+}
+
+func (r *reg) doubleLock() {
+	r.mu.Lock()
+	r.mu.Lock() // want `r\.mu locked again while already held in doubleLock \(self-deadlock\)`
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func (r *reg) leaks() {
+	r.mu.Lock() // want `r\.mu is still held when leaks ends and its unlock is not deferred`
+	r.vals[0] = 1
+}
+
+// condWait is clean: sync.Cond.Wait requires the lock by contract.
+func condWait(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// literalScope shows function literals are independent scopes: the
+// closure's send is flagged against the closure, not suppressed by the
+// outer function having no lock held at the go statement.
+func (r *reg) literalScope() {
+	go func() {
+		r.mu.Lock()
+		r.ch <- 1 // want `channel send while r\.mu is held in function literal`
+		r.mu.Unlock()
+	}()
+}
+
+// copyUnderLock is clean: snapshot under the lock, block after.
+func (r *reg) copyUnderLock() []int {
+	r.mu.Lock()
+	out := make([]int, 0, len(r.vals))
+	for _, v := range r.vals {
+		out = append(out, v)
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
+	return out
+}

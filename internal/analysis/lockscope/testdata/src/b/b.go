@@ -1,0 +1,21 @@
+// Package b verifies lockscope is inert outside its package scope: the
+// same shapes package a flags produce no findings here.
+package b
+
+import "sync"
+
+type reg struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (r *reg) sendUnderLock(v int) {
+	r.mu.Lock()
+	r.ch <- v
+	r.mu.Unlock()
+}
+
+func (r *reg) earlyReturn() int {
+	r.mu.Lock()
+	return 1
+}

@@ -1,0 +1,13 @@
+package secretflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"emsim/internal/analysis/analysistest"
+	"emsim/internal/analysis/secretflow"
+)
+
+func TestSecretflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), secretflow.Analyzer)
+}

@@ -1,0 +1,187 @@
+// Package a exercises the secretflow analyzer: flagged table lookups,
+// branches, loop bounds and escapes, plus clean constant-time shapes
+// and an acknowledged suppression.
+package a
+
+import (
+	"fmt"
+	"math/bits"
+
+	"emsim/internal/aes"
+)
+
+var sbox [256]byte
+
+// lookup is the classic table-lookup leak.
+//
+//emsim:ct
+//emsim:secret k
+func lookup(k byte) byte {
+	return sbox[k] // want `memory access indexed by secret data in ct function lookup`
+}
+
+// branch flags secret-dependent control flow in both statement forms.
+//
+//emsim:ct
+//emsim:secret k
+func branch(k int) int {
+	if k > 0 { // want `branch condition depends on secret data in ct function branch`
+		return 1
+	}
+	switch k & 1 { // want `branch condition depends on secret data in ct function branch`
+	case 0:
+		return 2
+	}
+	return 0
+}
+
+// loop flags a secret trip count.
+//
+//emsim:ct
+//emsim:secret n
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ { // want `loop bound depends on secret data in ct function loop`
+		s += i
+	}
+	return s
+}
+
+// rangeLeak flags ranging over a secret slice (its length leaks)...
+//
+//emsim:ct
+//emsim:secret key
+func rangeLeak(key []byte) int {
+	s := 0
+	for _, b := range key { // want `loop bound depends on secret data in ct function rangeLeak`
+		s += int(b)
+	}
+	return s
+}
+
+// rangeArray is clean: an array's trip count is fixed at compile time.
+//
+//emsim:ct
+//emsim:secret key
+func rangeArray(key [16]byte) int {
+	s := 0
+	for _, b := range key {
+		s += int(b)
+	}
+	return s
+}
+
+func helper(v int) int { return v * 3 }
+
+// escape flags secret data reaching an unverified callee.
+//
+//emsim:ct
+//emsim:secret k
+func escape(k int) int {
+	return helper(k) // want `secret data passed to non-ct function a.helper in ct function escape`
+}
+
+// logs gets the sharper logging-sink message.
+//
+//emsim:ct
+//emsim:secret k
+func logs(k int) {
+	fmt.Println(k) // want `secret data reaches logging call fmt.Println in ct function logs`
+}
+
+// derived shows taint propagating through local assignments.
+//
+//emsim:ct
+//emsim:secret k
+func derived(k byte) byte {
+	x := k ^ 0xff
+	y := x + 1
+	return sbox[y] // want `memory access indexed by secret data in ct function derived`
+}
+
+// viaCopy shows taint propagating through the copy builtin.
+//
+//emsim:ct
+//emsim:secret key
+func viaCopy(key []byte) byte {
+	buf := make([]byte, len(key))
+	copy(buf, key)
+	return sbox[buf[0]] // want `memory access indexed by secret data in ct function viaCopy`
+}
+
+// creds shows the struct-field annotation form.
+type creds struct {
+	//emsim:secret
+	Key   [16]byte
+	Nonce int
+}
+
+//emsim:ct
+func fieldLeak(c creds) byte {
+	return sbox[c.Key[0]] // want `memory access indexed by secret data in ct function fieldLeak`
+}
+
+// fieldClean is clean: Nonce is not annotated, so selecting it off the
+// same struct taints nothing.
+//
+//emsim:ct
+func fieldClean(c creds) int {
+	return c.Nonce * 2
+}
+
+// mapLeak flags a secret map key (hash + probe sequence leak).
+//
+//emsim:ct
+//emsim:secret k
+func mapLeak(k string, m map[string]int) int {
+	return m[k] // want `memory access indexed by secret data in ct function mapLeak`
+}
+
+// viaCallback flags secrets disappearing into a dynamic call.
+//
+//emsim:ct
+//emsim:secret k
+func viaCallback(k int, f func(int) int) int {
+	return f(k) // want `secret data passed through dynamic call \(function value f\) in ct function viaCallback`
+}
+
+// crossCT is clean: aes.SBox carries //emsim:ct in its own package, so
+// the module fact set admits the call.
+//
+//emsim:ct
+//emsim:secret b
+func crossCT(b byte) byte {
+	return aes.SBox(b)
+}
+
+// hw is clean: math/bits is allowlisted as constant-time.
+//
+//emsim:ct
+//emsim:secret v
+func hw(v uint32) int {
+	return bits.OnesCount32(v)
+}
+
+// acknowledged shows a justified suppression: no finding survives.
+//
+//emsim:ct
+//emsim:secret k
+func acknowledged(k byte) byte {
+	//emsim:ignore secretflow the table lookup is the modeled leak under test
+	return sbox[k]
+}
+
+// notCT is clean: without //emsim:ct nothing is checked.
+func notCT(k int) int {
+	if k > 0 {
+		return 1
+	}
+	return 0
+}
+
+//emsim:secret k
+func missingCT(k int) int { return k } // want `emsim:secret on missingCT has no effect without //emsim:ct`
+
+//emsim:ct
+//emsim:secret nosuch
+func unknownParam(k int) int { return k } // want `emsim:secret on unknownParam names unknown parameter "nosuch"`

@@ -108,7 +108,7 @@ func (s *Session) SetTee(sink cpu.CycleSink) { s.sink.tee = sink }
 //emsim:noalloc
 func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64, error) {
 	//emsim:ignore noalloc context.Background returns the shared static empty context
-	return s.SimulateProgramIntoContext(context.Background(), dst, words)
+	return s.SimulateProgramIntoContext(context.Background(), dst, words) //emsim:ignore ctxflow documented non-cancellable convenience form of SimulateProgramIntoContext
 }
 
 // SimulateProgramIntoContext is SimulateProgramInto with cancellation:
@@ -133,6 +133,7 @@ func (s *Session) SimulateProgramIntoContext(ctx context.Context, dst []float64,
 // returned signal is allocated. For fully allocation-free steady-state
 // reuse, use SimulateProgramInto with a recycled destination.
 func (s *Session) SimulateProgram(words []uint32) ([]float64, error) {
+	//emsim:ignore ctxflow documented non-cancellable convenience form of SimulateProgramContext
 	return s.SimulateProgramContext(context.Background(), words)
 }
 
@@ -157,6 +158,7 @@ func (s *Session) SimulateProgramContext(ctx context.Context, words []uint32) ([
 // fail, the error of the lowest-indexed failing program is returned —
 // deterministically, regardless of goroutine scheduling.
 func (s *Session) SimulateBatch(programs [][]uint32, workers int) ([][]float64, error) {
+	//emsim:ignore ctxflow documented non-cancellable convenience form of SimulateBatchContext
 	return s.SimulateBatchContext(context.Background(), programs, workers)
 }
 

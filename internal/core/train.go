@@ -40,9 +40,13 @@ type TrainOptions struct {
 	// goroutine.
 	Workers int
 	// Progress, when non-nil, receives one event per phase start and
-	// per completed measurement. Calls are serialized by the trainer
-	// but may originate from worker goroutines; the callback must not
-	// block for long or it stalls the campaign.
+	// per completed measurement. Worker goroutines invoke it
+	// concurrently and outside the trainer's internal lock, so it must
+	// be safe for concurrent use and tolerate Done counts arriving out
+	// of order within a phase (phase boundaries themselves are ordered:
+	// every event of one phase is delivered before the next phase
+	// starts). The callback must not block for long or it stalls the
+	// campaign; it may call back into the Trainer.
 	Progress func(Progress) `json:"-"`
 	// Cache, when non-nil, lets the campaign reuse measurement
 	// artifacts recorded by earlier trainings of devices with the same

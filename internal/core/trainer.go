@@ -92,7 +92,7 @@ type Trainer struct {
 
 	kernel signal.Kernel
 
-	mu         sync.Mutex // serializes progress state and callback calls
+	mu         sync.Mutex // guards the progress counters; callbacks run outside it
 	done       int
 	total      int
 	phaseStart time.Time
@@ -128,6 +128,7 @@ func Train(dev *device.Device, opts TrainOptions) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	//emsim:ignore ctxflow Train is the documented blocking convenience form; cancellable callers use NewTrainer + Run
 	return t.Run(context.Background())
 }
 
@@ -433,10 +434,12 @@ func (t *Trainer) extract(raw []*rawMeasurement) ([]*measurement, error) {
 
 func (t *Trainer) beginPhase(p Phase, total int) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.done, t.total = 0, total
 	//emsim:ignore determinism phase timings are observability output only; they never feed fitted parameters
 	t.phaseStart = time.Now()
+	t.mu.Unlock()
+	// The callback runs outside t.mu: it is foreign code and may call
+	// back into the trainer (PhaseTimings takes the same mutex).
 	if t.opts.Progress != nil {
 		t.opts.Progress(Progress{Phase: p, Done: 0, Total: total})
 	}
@@ -444,11 +447,14 @@ func (t *Trainer) beginPhase(p Phase, total int) {
 
 func (t *Trainer) noteProgress(p Phase) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.done++
+	done, total, start := t.done, t.total, t.phaseStart
+	t.mu.Unlock()
+	// The callback runs outside t.mu (see beginPhase); concurrent
+	// workers may therefore deliver completion events out of order.
 	if t.opts.Progress != nil {
 		//emsim:ignore determinism progress timings are observability output only
-		t.opts.Progress(Progress{Phase: p, Done: t.done, Total: t.total, Elapsed: time.Since(t.phaseStart)})
+		t.opts.Progress(Progress{Phase: p, Done: done, Total: total, Elapsed: time.Since(start)})
 	}
 }
 

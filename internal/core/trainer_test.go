@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -16,11 +17,19 @@ import (
 // the measurement cache.
 
 // trainWith trains one model on a fresh default device and returns its
-// serialized bytes plus the progress events observed.
+// serialized bytes plus the progress events observed. The callback is
+// locked because worker goroutines invoke it concurrently.
 func trainWith(t *testing.T, opts TrainOptions) ([]byte, []Progress) {
 	t.Helper()
-	var events []Progress
-	opts.Progress = func(p Progress) { events = append(events, p) }
+	var (
+		mu     sync.Mutex
+		events []Progress
+	)
+	opts.Progress = func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	}
 	dev := device.MustNew(device.DefaultOptions())
 	tr, err := NewTrainer(dev, opts)
 	if err != nil {
@@ -100,10 +109,18 @@ func TestTrainerCancellation(t *testing.T) {
 	opts := smallCampaign()
 	opts.Workers = 4
 	// Cancel from inside the campaign, two measurements into phase 1 —
-	// mid-fan-out, with workers in flight.
-	var lastPhase Phase
+	// mid-fan-out, with workers in flight. The callback is invoked
+	// concurrently, so its state carries its own lock.
+	var (
+		phaseMu   sync.Mutex
+		lastPhase Phase
+	)
 	opts.Progress = func(p Progress) {
-		lastPhase = p.Phase
+		phaseMu.Lock()
+		if p.Phase > lastPhase {
+			lastPhase = p.Phase
+		}
+		phaseMu.Unlock()
 		if p.Phase == PhaseBaseline && p.Done >= 2 {
 			cancel()
 		}
@@ -135,6 +152,35 @@ func TestTrainerCancellation(t *testing.T) {
 	}
 	if g := runtime.NumGoroutine(); g > before {
 		t.Errorf("goroutine leak: %d before Run, %d after", before, g)
+	}
+}
+
+func TestTrainerProgressReentrancy(t *testing.T) {
+	// The Progress contract allows the callback to call back into the
+	// Trainer. Before the callbacks moved outside the trainer's internal
+	// mutex, a callback touching PhaseTimings deadlocked on the first
+	// event; the timeout below is the regression guard.
+	opts := smallCampaign()
+	opts.Workers = 2
+	dev := device.MustNew(device.DefaultOptions())
+	var tr *Trainer
+	opts.Progress = func(Progress) { _ = tr.PhaseTimings() }
+	tr, err := NewTrainer(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Run(context.Background())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Run never returned: a progress callback calling PhaseTimings deadlocks against the trainer lock")
 	}
 }
 

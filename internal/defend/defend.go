@@ -99,7 +99,6 @@ func (s Spec) String() string {
 		return s.Name
 	}
 	keys := make([]string, 0, len(s.Params))
-	//emsim:ignore determinism keys are sorted before use
 	for k := range s.Params {
 		keys = append(keys, k)
 	}
@@ -163,7 +162,6 @@ func (p *specParams) get(key string, def float64) float64 {
 
 func (p *specParams) unknown() []string {
 	var out []string
-	//emsim:ignore determinism result is sorted before use
 	for k := range p.m {
 		if !p.used[k] {
 			out = append(out, k)

@@ -39,8 +39,15 @@ type Options struct {
 	CPU     cpu.Config  // core configuration (zero value = defaults)
 	Defense Spec        // countermeasure under evaluation (required)
 
-	Key   [16]byte // AES key the attacks try to recover
-	Fixed [16]byte // TVLA fixed-group plaintext
+	// Key is the AES key the attacks try to recover.
+	//
+	//emsim:secret
+	Key [16]byte
+	// Fixed is the TVLA fixed-group plaintext, secret alongside the key
+	// (a known fixed input would let an attacker precompute the group).
+	//
+	//emsim:secret
+	Fixed [16]byte
 
 	Seed    int64 // campaign randomization seed
 	Workers int   // simulation fan-out (<= 0: GOMAXPROCS)
@@ -56,7 +63,10 @@ type Options struct {
 	NoiseStd float64
 
 	// Progress, when non-nil, is called after each simulated trace of an
-	// arm's campaign ("baseline" or the defense spec string).
+	// arm's campaign ("baseline" or the defense spec string). Simulation
+	// workers invoke it concurrently, outside any evaluator lock: the
+	// callback must be safe for concurrent use, and done counts from
+	// different workers may arrive slightly out of order.
 	Progress func(arm string, done, total int)
 }
 
@@ -217,11 +227,11 @@ func Evaluate(ctx context.Context, opts Options) (*SecurityReport, error) {
 func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*ArmResult, error) {
 	res := &ArmResult{Name: name}
 	total := opts.CPATraces + 2*opts.TVLATraces
-	done := 0
+	var done atomic.Int64
 	report := func(n int) {
-		done += n
+		d := int(done.Add(int64(n)))
 		if opts.Progress != nil {
-			opts.Progress(name, done, total)
+			opts.Progress(name, d, total)
 		}
 	}
 
@@ -273,20 +283,7 @@ func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*Ar
 			red[i] = row
 		}
 	}
-	// The pipeline's amplitude model leaks the Hamming distance of latch
-	// transitions, so the distinguisher targets the round-1 S-box lookup
-	// transition x -> S(x) rather than plain HW(S(x)): the latter leaves a
-	// persistent ghost peak that keeps the true key at rank 1-2.
-	hyp := make([][]float64, len(amps))
-	for i := range hyp {
-		row := make([]float64, 256)
-		for g := 0; g < 256; g++ {
-			x := ptByte[i] ^ byte(g)
-			row[g] = leakage.HammingWeight(uint32(aes.SBox(x) ^ x))
-		}
-		hyp[i] = row
-	}
-	trueGuess := int(opts.Key[0])
+	hyp, trueGuess := cpaHypotheses(opts, ptByte)
 	for t := opts.CPAStep; t <= len(red); t += opts.CPAStep {
 		cr, err := leakage.CPA(red[:t], hyp[:t])
 		if err != nil {
@@ -350,6 +347,30 @@ func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*Ar
 		}
 	}
 	return res, nil
+}
+
+// cpaHypotheses builds the per-trace CPA hypothesis matrix and the true
+// key's candidate index. The distinguisher targets the round-1 S-box
+// lookup transition x -> S(x) (Hamming distance) rather than plain
+// HW(S(x)): the pipeline's amplitude model leaks latch transitions, and
+// the plain-weight model leaves a persistent ghost peak that keeps the
+// true key at rank 1-2. The construction is constant-time in the secret
+// key — the key only selects trueGuess, while the hypothesis table is
+// built for all 256 candidates unconditionally.
+//
+//emsim:ct
+//emsim:secret opts
+func cpaHypotheses(opts Options, ptByte []byte) (hyp [][]float64, trueGuess int) {
+	hyp = make([][]float64, len(ptByte))
+	for i := range hyp {
+		row := make([]float64, 256)
+		for g := 0; g < 256; g++ {
+			x := ptByte[i] ^ byte(g)
+			row[g] = leakage.HammingWeight(uint32(aes.SBox(x) ^ x))
+		}
+		hyp[i] = row
+	}
+	return hyp, int(opts.Key[0])
 }
 
 // simulateAll simulates progs[i] for every i across opts.Workers workers,
@@ -430,9 +451,10 @@ func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs
 				amps[i] = amp
 				cycles[i] = sess.Cycles()
 				injected[i] = sess.Stats().Injected
-				mu.Lock()
+				// report is concurrency-safe (atomic counter, callback
+				// contract allows concurrent calls); invoking it under mu
+				// would run foreign code inside the error critical section.
 				report(1)
-				mu.Unlock()
 			}
 		}()
 	}

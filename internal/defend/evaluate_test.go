@@ -3,7 +3,10 @@ package defend
 import (
 	"context"
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // quickEvalOptions is a small campaign that still exercises every stage:
@@ -57,11 +60,18 @@ func TestEvaluateCancellation(t *testing.T) {
 
 func TestEvaluateProgress(t *testing.T) {
 	opts := quickEvalOptions(t, "dummy")
-	last := map[string]int{}
+	// Workers invoke the callback concurrently and counts may arrive out
+	// of order, so the test tracks the per-arm maximum under a lock.
+	var mu sync.Mutex
+	maxDone := map[string]int{}
 	total := 0
 	opts.Progress = func(arm string, done, tot int) {
-		last[arm] = done
+		mu.Lock()
+		if done > maxDone[arm] {
+			maxDone[arm] = done
+		}
 		total = tot
+		mu.Unlock()
 	}
 	if _, err := Evaluate(context.Background(), opts); err != nil {
 		t.Fatal(err)
@@ -70,8 +80,47 @@ func TestEvaluateProgress(t *testing.T) {
 	if total != want {
 		t.Errorf("progress total %d, want %d", total, want)
 	}
-	if last["baseline"] != want || last["dummy"] != want {
-		t.Errorf("progress did not reach total: %v", last)
+	if maxDone["baseline"] != want || maxDone["dummy"] != want {
+		t.Errorf("progress did not reach total: %v", maxDone)
+	}
+}
+
+// TestEvaluateProgressConcurrent locks in the callback contract: workers
+// invoke Progress concurrently, outside any evaluator lock. The first
+// callback parks until a second callback arrives from another worker;
+// under the old delivery (serialized inside the simulation mutex) no
+// second callback can arrive and the evaluation times out.
+func TestEvaluateProgressConcurrent(t *testing.T) {
+	opts := quickEvalOptions(t, "dummy")
+	opts.Workers = 2
+	var (
+		parked    atomic.Bool
+		closeOnce sync.Once
+	)
+	release := make(chan struct{})
+	opts.Progress = func(arm string, done, total int) {
+		if parked.CompareAndSwap(false, true) {
+			select {
+			case <-release:
+			case <-time.After(30 * time.Second):
+				t.Error("no concurrent progress callback arrived while one was parked")
+			}
+			return
+		}
+		closeOnce.Do(func() { close(release) })
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Evaluate(context.Background(), opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("Evaluate never returned with a blocking progress callback")
 	}
 }
 

@@ -76,6 +76,7 @@ func (s *Session) SimulateTraceInto(ctx context.Context, dst []float64, index in
 func (s *Session) SimulateProgram(words []uint32) ([]float64, error) {
 	index := s.next
 	s.next++
+	//emsim:ignore ctxflow the context-free leakage.Simulator interface fixes this signature; SimulateTraceInto is the cancellable form
 	sig, err := s.SimulateTraceInto(context.Background(), s.sig, index, words)
 	if err != nil {
 		return nil, err

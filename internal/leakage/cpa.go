@@ -25,10 +25,17 @@ type CPAResult struct {
 	PeakAt []int
 }
 
-// Rank returns candidate g's rank (0 = best) by peak correlation.
+// Rank returns candidate g's rank (0 = best) by peak correlation. The
+// evaluation harness calls it with the true key byte — a deliberate
+// known-key computation, which is why the secret-dependent comparison
+// below is suppressed rather than fixed.
+//
+//emsim:ct
+//emsim:secret g
 func (r *CPAResult) Rank(g int) int {
 	rank := 0
 	for other, c := range r.PeakCorr {
+		//emsim:ignore secretflow known-key evaluation: the harness deliberately ranks the true key byte against every candidate
 		if other != g && c > r.PeakCorr[g] {
 			rank++
 		}
@@ -157,5 +164,10 @@ func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 }
 
 // HammingWeight returns the number of set bits in v — the standard CPA
-// leakage model for a value moving through a bus or register.
+// leakage model for a value moving through a bus or register. It is the
+// one primitive hypothesis building feeds secrets through, and it is
+// constant-time: a single popcount.
+//
+//emsim:ct
+//emsim:secret v
 func HammingWeight(v uint32) float64 { return float64(bits.OnesCount32(v)) }

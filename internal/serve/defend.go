@@ -75,12 +75,16 @@ type defendJob struct {
 	finished bool
 }
 
-// observe is the Evaluate progress callback. Arms run sequentially, so
-// the most recent arm is the live one.
+// observe is the Evaluate progress callback. Arms run sequentially (so
+// the most recent arm is the live one) but within an arm the simulation
+// workers invoke it concurrently, with counts possibly out of order;
+// stale per-arm counts are dropped to keep the totals monotonic.
 func (j *defendJob) observe(arm string, done, total int) {
 	j.mu.Lock()
 	j.arm = arm
-	j.armDone[arm] = done
+	if done > j.armDone[arm] {
+		j.armDone[arm] = done
+	}
 	j.armTotal = total
 	j.mu.Unlock()
 }
@@ -92,8 +96,14 @@ func (j *defendJob) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish records the campaign outcome exactly once.
+// finish records the campaign outcome exactly once. The error is
+// rendered before taking the lock: Error is foreign code and has no
+// business inside the critical section.
 func (j *defendJob) finish(report []byte, err error) {
+	var msg string
+	if err != nil {
+		msg = err.Error()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.finished {
@@ -111,7 +121,7 @@ func (j *defendJob) finish(report []byte, err error) {
 		j.state = defendCancelled
 	default:
 		j.state = defendFailed
-		j.err = err.Error()
+		j.err = msg
 	}
 }
 
@@ -146,8 +156,9 @@ func (j *defendJob) status(withReport bool) defendStatus {
 // submission, lookup, the run-concurrency semaphore and drain-time
 // cancellation.
 type defendRegistry struct {
-	sem chan struct{}
-	met *metrics
+	base context.Context // parent of every job context (Config.BaseContext)
+	sem  chan struct{}
+	met  *metrics
 
 	mu     sync.Mutex
 	jobs   map[string]*defendJob
@@ -157,8 +168,9 @@ type defendRegistry struct {
 	wg     sync.WaitGroup
 }
 
-func newDefendRegistry(concurrent int, met *metrics) *defendRegistry {
+func newDefendRegistry(base context.Context, concurrent int, met *metrics) *defendRegistry {
 	return &defendRegistry{
+		base: base,
 		sem:  make(chan struct{}, concurrent),
 		met:  met,
 		jobs: map[string]*defendJob{},
@@ -182,7 +194,7 @@ func (dr *defendRegistry) submit(opts defend.Options) (*defendJob, error) {
 		return nil, errQueueFull
 	}
 	dr.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(dr.base)
 	j := &defendJob{
 		id:      fmt.Sprintf("defend-%d", dr.nextID),
 		cancel:  cancel,
@@ -265,14 +277,20 @@ func (dr *defendRegistry) run(ctx context.Context, j *defendJob, opts defend.Opt
 }
 
 // drain cancels every live campaign and waits for all runner goroutines
-// to exit. Safe to call more than once.
+// to exit. Safe to call more than once. Jobs are snapshotted under the
+// lock but cancelled outside it: cancel funcs run foreign Done-channel
+// machinery, and submit already refuses new jobs once closed is set.
 func (dr *defendRegistry) drain() {
 	dr.mu.Lock()
 	dr.closed = true
+	jobs := make([]*defendJob, 0, len(dr.jobs))
 	for _, j := range dr.jobs {
-		j.cancel()
+		jobs = append(jobs, j)
 	}
 	dr.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
 	dr.wg.Wait()
 }
 

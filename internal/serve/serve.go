@@ -10,6 +10,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"fmt"
@@ -68,6 +69,12 @@ type Config struct {
 	// MaxDefendTraces caps the tvla_traces and cpa_traces fields of a
 	// /v1/defend request. Default 4096.
 	MaxDefendTraces int
+	// BaseContext, when non-nil, is the parent of every background job
+	// context (training and defense campaigns): cancelling it cancels
+	// all live jobs, in addition to the per-job DELETE route and
+	// Server.Close. Nil means context.Background. Analogous to
+	// http.Server.BaseContext.
+	BaseContext context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +117,10 @@ func (c Config) withDefaults() Config {
 	if c.MaxDefendTraces <= 0 {
 		c.MaxDefendTraces = 4096
 	}
+	if c.BaseContext == nil {
+		//emsim:ignore ctxflow the zero Config falls back to a background base deliberately, mirroring http.Server.BaseContext
+		c.BaseContext = context.Background()
+	}
 	return c
 }
 
@@ -136,8 +147,8 @@ func New(m *core.Model, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{model: m, cfg: cfg, sched: sched, met: met}
-	s.trains = newTrainRegistry(cfg.MaxTrainJobs, met)
-	s.defends = newDefendRegistry(cfg.MaxDefendJobs, met)
+	s.trains = newTrainRegistry(cfg.BaseContext, cfg.MaxTrainJobs, met)
+	s.defends = newDefendRegistry(cfg.BaseContext, cfg.MaxDefendJobs, met)
 	met.vars.Set("train_cache", expvar.Func(func() any { return s.trains.cacheStats() }))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)

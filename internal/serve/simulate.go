@@ -208,7 +208,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	<-j.done
 	if j.err != nil {
-		s.writeSimError(w, ctx, j.err)
+		s.writeSimError(w, j.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -219,7 +219,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // a client-supplied timeout), a client disconnect gets a best-effort
 // 499-style close, and everything else — a program that never halts, an
 // undecodable word — is an unprocessable program, not a server error.
-func (s *Server) writeSimError(w http.ResponseWriter, ctx context.Context, err error) {
+func (s *Server) writeSimError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusRequestTimeout, "simulation exceeded its deadline")

@@ -78,10 +78,18 @@ type trainJob struct {
 	finished bool
 }
 
-// observe is the Trainer progress callback.
+// observe is the Trainer progress callback. Campaign workers invoke it
+// concurrently and completion counts may arrive out of order within a
+// phase, so stale events (a lower Done for the phase already shown) are
+// dropped to keep the visible counter monotonic.
 func (j *trainJob) observe(p core.Progress) {
 	j.mu.Lock()
-	j.phase, j.done, j.total = p.Phase, p.Done, p.Total
+	switch {
+	case p.Phase != j.phase:
+		j.phase, j.done, j.total = p.Phase, p.Done, p.Total
+	case p.Done > j.done:
+		j.done, j.total = p.Done, p.Total
+	}
 	j.mu.Unlock()
 }
 
@@ -92,8 +100,15 @@ func (j *trainJob) setRunning() {
 	j.mu.Unlock()
 }
 
-// finish records the campaign outcome exactly once.
+// finish records the campaign outcome exactly once. The error is
+// rendered before taking the lock: Error is foreign code (a wrapped
+// chain may format lazily) and has no business inside the critical
+// section.
 func (j *trainJob) finish(model []byte, err error) {
+	var msg string
+	if err != nil {
+		msg = err.Error()
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.finished {
@@ -111,7 +126,7 @@ func (j *trainJob) finish(model []byte, err error) {
 		j.state = trainCancelled
 	default:
 		j.state = trainFailed
-		j.err = err.Error()
+		j.err = msg
 	}
 }
 
@@ -146,6 +161,7 @@ func (j *trainJob) status(withModel bool) trainStatus {
 // lookup, the run-concurrency semaphore, the shared measurement cache,
 // and drain-time cancellation.
 type trainRegistry struct {
+	base  context.Context // parent of every job context (Config.BaseContext)
 	sem   chan struct{}
 	cache *core.MeasurementCache
 	met   *metrics
@@ -158,8 +174,9 @@ type trainRegistry struct {
 	wg     sync.WaitGroup
 }
 
-func newTrainRegistry(concurrent int, met *metrics) *trainRegistry {
+func newTrainRegistry(base context.Context, concurrent int, met *metrics) *trainRegistry {
 	return &trainRegistry{
+		base:  base,
 		sem:   make(chan struct{}, concurrent),
 		cache: core.NewMeasurementCache(),
 		met:   met,
@@ -184,7 +201,7 @@ func (tr *trainRegistry) submit(opts core.TrainOptions, devOpts device.Options) 
 		return nil, errQueueFull
 	}
 	tr.nextID++
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(tr.base)
 	j := &trainJob{id: fmt.Sprintf("train-%d", tr.nextID), cancel: cancel, state: trainQueued}
 	opts.Progress = j.observe
 	opts.Cache = tr.cache
@@ -273,14 +290,20 @@ func (tr *trainRegistry) run(ctx context.Context, j *trainJob, opts core.TrainOp
 }
 
 // drain cancels every live campaign and waits for all runner goroutines
-// to exit. Safe to call more than once.
+// to exit. Safe to call more than once. Jobs are snapshotted under the
+// lock but cancelled outside it: cancel funcs run foreign Done-channel
+// machinery, and submit already refuses new jobs once closed is set.
 func (tr *trainRegistry) drain() {
 	tr.mu.Lock()
 	tr.closed = true
+	jobs := make([]*trainJob, 0, len(tr.jobs))
 	for _, j := range tr.jobs {
-		j.cancel()
+		jobs = append(jobs, j)
 	}
 	tr.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
 	tr.wg.Wait()
 }
 

@@ -140,7 +140,7 @@ func (s *Server) handleTVLA(w http.ResponseWriter, r *http.Request) {
 	}
 	<-j.done
 	if j.err != nil {
-		s.writeSimError(w, ctx, j.err)
+		s.writeSimError(w, j.err)
 		return
 	}
 	resp := tvlaResponse{
