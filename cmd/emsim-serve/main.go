@@ -17,6 +17,13 @@
 //	GET    /healthz        liveness (503 while draining)
 //	GET    /varz           queue depth, in-flight, cycles, latency percentiles,
 //	                       training job counters and measurement-cache stats
+//	GET    /metrics        the same state as Prometheus text format, plus
+//	                       per-endpoint and per-training-phase histograms
+//	GET    /v1/trace       Chrome-trace JSON snapshot of the span ring
+//
+// With -debug-addr a second loopback-intended listener additionally
+// serves net/http/pprof under /debug/pprof/ (plus /metrics and
+// /v1/trace, so profiles and scrapes share a port).
 //
 // Start it with a trained model (emsim-leakage or Model.SaveFile output):
 //
@@ -42,6 +49,7 @@ import (
 	"emsim"
 	"emsim/internal/core"
 	"emsim/internal/device"
+	"emsim/internal/obs"
 	"emsim/internal/serve"
 )
 
@@ -62,8 +70,14 @@ func main() {
 		defJobs   = flag.Int("defend-jobs", 1, "concurrent /v1/defend campaigns (excess jobs queue)")
 		defWkrs   = flag.Int("defend-workers", 0, "simulation fan-out per defense evaluation (0 = GOMAXPROCS)")
 		defTraces = flag.Int("defend-traces", 4096, "largest accepted trace budget of a /v1/defend request")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof (and /metrics, /v1/trace) on this extra address; keep it loopback")
+		traceEvts = flag.Int("trace-events", 65536, "span trace ring capacity in events (0 disables recording)")
 	)
 	flag.Parse()
+
+	if *traceEvts > 0 {
+		obs.Enable(*traceEvts)
+	}
 
 	model, err := loadOrTrain(*modelPath)
 	if err != nil {
@@ -106,6 +120,17 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("emsim-serve: listening on %s", *addr)
 
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgSrv = &http.Server{Addr: *debugAddr, Handler: srv.DebugHandler()}
+		go func() {
+			if err := dbgSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("emsim-serve: debug listener: %v", err)
+			}
+		}()
+		log.Printf("emsim-serve: debug (pprof) listening on %s", *debugAddr)
+	}
+
 	select {
 	case err := <-errc:
 		log.Fatalf("emsim-serve: %v", err)
@@ -119,6 +144,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		log.Printf("emsim-serve: shutdown: %v", err)
+	}
+	if dbgSrv != nil {
+		if err := dbgSrv.Shutdown(shCtx); err != nil {
+			log.Printf("emsim-serve: debug shutdown: %v", err)
+		}
 	}
 	srv.Close()
 	log.Printf("emsim-serve: drained")

@@ -5,11 +5,13 @@
 //
 // Usage:
 //
-//	emsim [-csv signal.csv] [-trace] [-runs N] [-defense spec] [prog.s]
+//	emsim [-csv signal.csv] [-pipeline] [-trace out.json] [-runs N] [-defense spec] [prog.s]
 //
 // Without an argument a built-in demo program runs. The CSV (one line per
 // sample: time-in-cycles, measured, simulated) can be plotted with any
-// tool to reproduce the paper's waveform figures.
+// tool to reproduce the paper's waveform figures. -trace records the
+// run's internal span timeline (training phases, simulate calls) as
+// Chrome trace JSON, loadable in chrome://tracing or Perfetto.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"emsim/internal/cpu"
 	"emsim/internal/defend"
 	"emsim/internal/device"
+	"emsim/internal/obs"
 )
 
 const demoProgram = `
@@ -45,7 +48,8 @@ loop:
 
 func main() {
 	csvPath := flag.String("csv", "", "write time,measured,simulated samples to this file")
-	showTrace := flag.Bool("trace", false, "print the per-cycle pipeline occupancy")
+	showPipeline := flag.Bool("pipeline", false, "print the per-cycle pipeline occupancy")
+	tracePath := flag.String("trace", "", "record the run's span timeline as Chrome trace JSON into this file")
 	attribute := flag.Bool("attribute", false, "print the signal attribution by stage and instruction")
 	repeat := flag.Int("repeat", 0, "re-simulate the program N times through one Session and report throughput")
 	runs := flag.Int("runs", 20, "measurement averaging runs")
@@ -56,6 +60,11 @@ func main() {
 	defense := flag.String("defense", "", "run the program under a countermeasure, name[:param=val,...] (shuffle, dummy, jitter)")
 	flag.Parse()
 
+	if *tracePath != "" {
+		obs.Enable(0)
+		defer writeTrace(*tracePath)
+	}
+
 	src := demoProgram
 	if flag.NArg() == 1 {
 		data, err := os.ReadFile(flag.Arg(0))
@@ -64,7 +73,7 @@ func main() {
 		}
 		src = string(data)
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: emsim [-csv out.csv] [-trace] [prog.s]")
+		fmt.Fprintln(os.Stderr, "usage: emsim [-csv out.csv] [-pipeline] [-trace out.json] [prog.s]")
 		os.Exit(2)
 	}
 
@@ -136,7 +145,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *showTrace {
+	if *showPipeline {
 		printTrace(tr)
 	}
 	if *attribute {
@@ -243,6 +252,21 @@ func writeCSV(path string, cmp *core.Comparison, spc int) error {
 		fmt.Fprintf(&b, "%.4f,%.6f,%.6f\n", float64(i)/float64(spc), cmp.Measured[i], cmp.Simulated[i])
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// writeTrace flushes the recorded span ring as Chrome trace JSON.
+func writeTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteChromeTrace(f, obs.Snapshot()); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote span trace to %s\n", path)
 }
 
 func fatal(err error) {

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"emsim/internal/cpu"
+	"emsim/internal/device"
+	"emsim/internal/obs"
+)
+
+// The determinism contract of the obs layer: spans observe, they never
+// perturb. These tests pin that enabling tracing changes neither a
+// simulated signal nor a fitted model by even one bit, and that the
+// session's zero-allocation steady state survives with tracing on.
+
+func TestSimulateTracedBitIdentical(t *testing.T) {
+	m, _ := testModel(t)
+	words := sessionGoldenPrograms(t)["mixed"]
+	simulate := func() []float64 {
+		sess, err := m.NewSession(cpu.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig, err := sess.SimulateProgram(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sig
+	}
+
+	obs.Disable()
+	plain := simulate()
+	obs.Enable(1 << 12)
+	defer obs.Disable()
+	traced := simulate()
+
+	if len(plain) != len(traced) {
+		t.Fatalf("traced signal has %d samples, untraced %d", len(traced), len(plain))
+	}
+	for i := range plain {
+		if math.Float64bits(plain[i]) != math.Float64bits(traced[i]) {
+			t.Fatalf("sample %d differs with tracing enabled: %x vs %x",
+				i, math.Float64bits(plain[i]), math.Float64bits(traced[i]))
+		}
+	}
+	// The traced run must actually have recorded the simulate span.
+	found := false
+	for _, e := range obs.Snapshot() {
+		if e.Name == "session.simulate" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("traced run recorded no session.simulate span")
+	}
+}
+
+func TestTrainTracedBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two models")
+	}
+	opts := TrainOptions{
+		Runs:                2,
+		InstancesPerCluster: 6,
+		MixedPrograms:       1,
+		MixedLength:         120,
+		Seed:                11,
+	}
+	train := func() []byte {
+		m, err := Train(device.MustNew(device.DefaultOptions()), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	obs.Disable()
+	plain := train()
+	obs.Enable(1 << 12)
+	defer obs.Disable()
+	traced := train()
+
+	if !bytes.Equal(plain, traced) {
+		t.Fatal("fitted model bytes differ with tracing enabled")
+	}
+	// The traced campaign must have recorded every phase span.
+	names := map[string]bool{}
+	for _, e := range obs.Snapshot() {
+		names[e.Name] = true
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if want := "trainer." + p.String(); !names[want] {
+			t.Errorf("traced campaign recorded no %s span (got %v)", want, names)
+		}
+	}
+	if !names["trainer.measure"] || !names["trainer.fit"] {
+		t.Errorf("traced campaign missing measure/fit spans (got %v)", names)
+	}
+}
+
+func TestSimulateTracedSteadyStateAllocs(t *testing.T) {
+	m, _ := testModel(t)
+	sess, err := m.NewSession(cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := sessionGoldenPrograms(t)["mixed"]
+	obs.Enable(1 << 12)
+	defer obs.Disable()
+	sig, err := sess.SimulateProgramInto(nil, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		sig, err = sess.SimulateProgramInto(sig, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("traced steady-state SimulateProgramInto allocates %.1f times per trace, want 0", allocs)
+	}
+}

@@ -8,7 +8,15 @@ import (
 	"sync/atomic"
 
 	"emsim/internal/cpu"
+	"emsim/internal/obs"
 	"emsim/internal/signal"
+)
+
+// Span identities of the session pipeline, interned once so the
+// simulate hot path carries integers only.
+var (
+	spanSimulate = obs.RegisterSpan("session.simulate")
+	spanBatch    = obs.RegisterSpan("session.batch")
 )
 
 // Session is the reusable simulation pipeline for one (model, core
@@ -30,6 +38,7 @@ type Session struct {
 	rec   *signal.Reconstructor
 	sink  ampSink
 	sig   []float64 // buffer backing SimulateProgramInto's internal reuse
+	lane  int       // trace lane this session's spans render on
 }
 
 // ampSink streams cycles from the core into the amplitude model and on
@@ -65,7 +74,7 @@ func NewSession(m *Model, cfg cpu.Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{model: m, cfg: cfg, core: c, rec: rec}
+	s := &Session{model: m, cfg: cfg, core: c, rec: rec, lane: obs.NextLane()}
 	s.sink = ampSink{m: m, rec: rec}
 	return s, nil
 }
@@ -119,12 +128,16 @@ func (s *Session) SimulateProgramInto(dst []float64, words []uint32) ([]float64,
 //
 //emsim:noalloc
 func (s *Session) SimulateProgramIntoContext(ctx context.Context, dst []float64, words []uint32) ([]float64, error) {
+	obs.Begin(spanSimulate, s.lane)
 	s.rec.Start(dst)
 	if err := s.core.RunProgramToContext(ctx, words, &s.sink); err != nil {
+		obs.End(spanSimulate, s.lane)
 		//emsim:ignore noalloc cold failure path: the simulation already aborted
 		return nil, fmt.Errorf("core: simulate: %w", err)
 	}
-	return s.rec.Finish(), nil
+	sig := s.rec.Finish()
+	obs.End(spanSimulate, s.lane)
+	return sig, nil
 }
 
 // SimulateProgram runs the program and returns its predicted analog
@@ -181,6 +194,8 @@ func (s *Session) SimulateBatchContext(ctx context.Context, programs [][]uint32,
 	if workers > len(programs) {
 		workers = len(programs)
 	}
+	obs.Begin(spanBatch, s.lane)
+	defer obs.End(spanBatch, s.lane)
 	out := make([][]float64, len(programs))
 	var (
 		next    atomic.Int64

@@ -11,8 +11,23 @@ import (
 
 	"emsim/internal/cpu"
 	"emsim/internal/device"
+	"emsim/internal/obs"
 	"emsim/internal/signal"
 )
+
+// Trainer span identities: one per pipeline phase, plus the measurement
+// fan-out (recorded per worker lane) and the fit step.
+var (
+	phaseSpans  [NumPhases]obs.SpanID
+	spanMeasure = obs.RegisterSpan("trainer.measure")
+	spanFit     = obs.RegisterSpan("trainer.fit")
+)
+
+func init() {
+	for p := Phase(0); p < numPhases; p++ {
+		phaseSpans[p] = obs.RegisterSpan("trainer." + p.String())
+	}
+}
 
 // This file is the staged training pipeline: the phase DAG
 // (kernel-fit → baseline → activity → miso) behind Trainer.Run, the
@@ -89,6 +104,7 @@ type Trainer struct {
 	opts    TrainOptions
 	workers int
 	fp      uint64 // device fingerprint, the cache-key device component
+	lane    int    // trace lane the phase/fit spans render on
 
 	kernel signal.Kernel
 
@@ -118,7 +134,7 @@ func NewTrainer(dev *device.Device, opts TrainOptions) (*Trainer, error) {
 	if _, err := cpu.New(cfg); err != nil {
 		return nil, err
 	}
-	return &Trainer{dev: dev, cfg: cfg, opts: opts, workers: workers, fp: dev.Fingerprint()}, nil
+	return &Trainer{dev: dev, cfg: cfg, opts: opts, workers: workers, fp: dev.Fingerprint(), lane: obs.NextLane()}, nil
 }
 
 // Train runs the full campaign and returns the fitted model. It is the
@@ -279,10 +295,14 @@ func (t *Trainer) PhaseTimings() [NumPhases]time.Duration {
 // record the phase timing.
 func (t *Trainer) runPhase(ctx context.Context, p Phase, programs [][]uint32, fit func([]*rawMeasurement) error) ([]*rawMeasurement, error) {
 	t.beginPhase(p, len(programs))
+	obs.Begin(phaseSpans[p], t.lane)
 	raw, err := t.measureAll(ctx, p, programs)
 	if err == nil && fit != nil {
+		obs.Begin(spanFit, t.lane)
 		err = fit(raw)
+		obs.End(spanFit, t.lane)
 	}
+	obs.End(phaseSpans[p], t.lane)
 	t.endPhase(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", p, err)
@@ -295,6 +315,7 @@ func (t *Trainer) runPhase(ctx context.Context, p Phase, programs [][]uint32, fi
 type trainWorker struct {
 	meas *device.Measurer
 	core *cpu.CPU
+	lane int // trace lane this replica's measure spans render on
 }
 
 func (t *Trainer) newWorker() (*trainWorker, error) {
@@ -306,13 +327,15 @@ func (t *Trainer) newWorker() (*trainWorker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &trainWorker{meas: meas, core: core}, nil
+	return &trainWorker{meas: meas, core: core, lane: obs.NextLane()}, nil
 }
 
 // measureOne produces the raw artifact for one program: the averaged
 // device capture and the model core's cycle-aligned trace, through the
 // measurement cache when one is attached.
 func (t *Trainer) measureOne(ctx context.Context, w *trainWorker, words []uint32) (*rawMeasurement, error) {
+	obs.Begin(spanMeasure, w.lane)
+	defer obs.End(spanMeasure, w.lane)
 	key := measurementKey{device: t.fp, runs: t.opts.Runs, program: hashProgram(words)}
 	if r := t.opts.Cache.get(key); r != nil {
 		return r, nil

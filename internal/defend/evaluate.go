@@ -15,7 +15,17 @@ import (
 	"emsim/internal/core"
 	"emsim/internal/cpu"
 	"emsim/internal/leakage"
+	"emsim/internal/obs"
 	"emsim/internal/stats"
+)
+
+// Evaluation span identities: evaluate covers the whole two-arm
+// campaign and arm one arm's TVLA+CPA sweep (both on the campaign's
+// lane); trace covers one simulated trace on its worker's lane.
+var (
+	spanEvaluate = obs.RegisterSpan("defend.evaluate")
+	spanArm      = obs.RegisterSpan("defend.arm")
+	spanTrace    = obs.RegisterSpan("defend.trace")
 )
 
 // Default secrets of the evaluation workload: the FIPS-197 example key
@@ -187,11 +197,18 @@ func Evaluate(ctx context.Context, opts Options) (*SecurityReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	lane := obs.NextLane()
+	obs.Begin(spanEvaluate, lane)
+	defer obs.End(spanEvaluate, lane)
+	obs.Begin(spanArm, lane)
 	base, err := evaluateArm(ctx, opts, "baseline", Spec{})
+	obs.End(spanArm, lane)
 	if err != nil {
 		return nil, err
 	}
+	obs.Begin(spanArm, lane)
 	def, err := evaluateArm(ctx, opts, opts.Defense.String(), opts.Defense)
+	obs.End(spanArm, lane)
 	if err != nil {
 		return nil, err
 	}
@@ -427,14 +444,17 @@ func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs
 				fail(-1, serr)
 				return
 			}
+			traceLane := obs.NextLane()
 			var buf []float64
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || int64(i) > errIdx.Load() {
 					return
 				}
+				obs.Begin(spanTrace, traceLane)
 				sig, rerr := sess.SimulateTraceInto(ctx, buf, int64(i), progs[i])
 				if rerr != nil {
+					obs.End(spanTrace, traceLane)
 					fail(i, rerr)
 					continue
 				}
@@ -444,6 +464,7 @@ func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs
 				}
 				amp, aerr := core.ExtractAmplitudes(sig, opts.Model.SamplesPerCycle, opts.Model.Kernel)
 				buf = sig[:0]
+				obs.End(spanTrace, traceLane)
 				if aerr != nil {
 					fail(i, aerr)
 					continue

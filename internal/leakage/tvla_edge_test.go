@@ -1,0 +1,192 @@
+package leakage
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// errBoom is a sentinel a failing TraceSource returns so the tests can
+// assert TVLA wraps (rather than swallows or rewrites) source errors.
+var errBoom = errors.New("boom")
+
+// TestTVLAEdgeCases pins TVLA's behavior on degenerate inputs: bad group
+// sizes, constant traces (zero variance), NaN samples, empty traces and
+// failing sources. These are contracts callers rely on — in particular
+// that constant traces never manufacture NaN t statistics, and that NaN
+// samples never count as leaks.
+func TestTVLAEdgeCases(t *testing.T) {
+	var fixed [16]byte
+	fixed[0] = 0xAA // distinguishable from the (all-but-certainly different) random inputs
+
+	isFixed := func(input [16]byte) bool { return input == fixed }
+	constant := func(val float64, n int) []float64 {
+		tr := make([]float64, n)
+		for i := range tr {
+			tr[i] = val
+		}
+		return tr
+	}
+
+	cases := []struct {
+		name           string
+		src            TraceSource
+		tracesPerGroup int
+		wantErr        string // substring of the error, "" for success
+		wantErrIs      error  // errors.Is target, nil to skip
+		check          func(*testing.T, *TVLAResult)
+	}{
+		{
+			name:           "one trace per group rejected",
+			src:            func([16]byte) ([]float64, error) { return []float64{1}, nil },
+			tracesPerGroup: 1,
+			wantErr:        ">= 2 traces per group",
+		},
+		{
+			name:           "zero traces per group rejected",
+			src:            func([16]byte) ([]float64, error) { return []float64{1}, nil },
+			tracesPerGroup: 0,
+			wantErr:        ">= 2 traces per group",
+		},
+		{
+			name:           "empty traces rejected",
+			src:            func([16]byte) ([]float64, error) { return nil, nil },
+			tracesPerGroup: 3,
+			wantErr:        "empty traces",
+		},
+		{
+			name: "all-constant identical traces: t exactly zero, never NaN",
+			src: func([16]byte) ([]float64, error) {
+				return constant(0.25, 8), nil
+			},
+			tracesPerGroup: 5,
+			check: func(t *testing.T, res *TVLAResult) {
+				for i, v := range res.T {
+					if v != 0 {
+						t.Errorf("t[%d] = %v, want exactly 0 for constant identical groups", i, v)
+					}
+				}
+				if res.Leaks() || len(res.LeakyPoints) != 0 {
+					t.Errorf("constant identical traces flagged leaky: %v", res.LeakyPoints)
+				}
+				if res.MaxAbsT != 0 {
+					t.Errorf("MaxAbsT = %v, want 0", res.MaxAbsT)
+				}
+			},
+		},
+		{
+			name: "constant but group-distinct traces: t is +-Inf, not NaN",
+			src: func(input [16]byte) ([]float64, error) {
+				if isFixed(input) {
+					return constant(1, 6), nil
+				}
+				return constant(2, 6), nil
+			},
+			tracesPerGroup: 4,
+			check: func(t *testing.T, res *TVLAResult) {
+				for i, v := range res.T {
+					if !math.IsInf(v, -1) {
+						t.Errorf("t[%d] = %v, want -Inf (fixed mean 1 < random mean 2, zero variance)", i, v)
+					}
+				}
+				if !res.Leaks() {
+					t.Error("infinitely separated groups not flagged as leaking")
+				}
+				if !math.IsInf(res.MaxAbsT, 1) {
+					t.Errorf("MaxAbsT = %v, want +Inf", res.MaxAbsT)
+				}
+			},
+		},
+		{
+			name: "NaN sample yields NaN t but never a leak",
+			src: func([16]byte) ([]float64, error) {
+				tr := constant(0.5, 4)
+				tr[2] = math.NaN()
+				return tr, nil
+			},
+			tracesPerGroup: 3,
+			check: func(t *testing.T, res *TVLAResult) {
+				if !math.IsNaN(res.T[2]) {
+					t.Errorf("t[2] = %v, want NaN to propagate from the NaN sample", res.T[2])
+				}
+				for _, i := range []int{0, 1, 3} {
+					if res.T[i] != 0 {
+						t.Errorf("t[%d] = %v, want 0 at the constant samples", i, res.T[i])
+					}
+				}
+				if res.Leaks() || len(res.LeakyPoints) != 0 {
+					t.Errorf("NaN t counted as a leak: %v", res.LeakyPoints)
+				}
+				if res.MaxAbsT != 0 {
+					t.Errorf("MaxAbsT = %v, want 0 (NaN must not poison the max)", res.MaxAbsT)
+				}
+			},
+		},
+		{
+			name: "ragged traces truncate to shortest, stats stay finite",
+			src: func(input [16]byte) ([]float64, error) {
+				if isFixed(input) {
+					return constant(0.5, 3), nil
+				}
+				return constant(0.5, 9), nil
+			},
+			tracesPerGroup: 2,
+			check: func(t *testing.T, res *TVLAResult) {
+				if len(res.T) != 3 {
+					t.Fatalf("t-trace length %d, want 3 (shortest trace)", len(res.T))
+				}
+				if res.Traces != 2 {
+					t.Errorf("Traces = %d, want 2", res.Traces)
+				}
+			},
+		},
+		{
+			name: "fixed-source error wrapped",
+			src: func(input [16]byte) ([]float64, error) {
+				if isFixed(input) {
+					return nil, errBoom
+				}
+				return constant(0, 4), nil
+			},
+			tracesPerGroup: 2,
+			wantErr:        "fixed trace 0",
+			wantErrIs:      errBoom,
+		},
+		{
+			name: "random-source error wrapped",
+			src: func(input [16]byte) ([]float64, error) {
+				if isFixed(input) {
+					return constant(0, 4), nil
+				}
+				return nil, errBoom
+			},
+			tracesPerGroup: 2,
+			wantErr:        "random trace 0",
+			wantErrIs:      errBoom,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := TVLA(tc.src, fixed, rand.New(rand.NewSource(9)), tc.tracesPerGroup)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got result %+v", tc.wantErr, res)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				if tc.wantErrIs != nil && !errors.Is(err, tc.wantErrIs) {
+					t.Fatalf("error %q does not wrap the source error", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, res)
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one "complete" event ("ph":"X") of the Chrome trace
+// JSON format (chrome://tracing, Perfetto, speedscope all read it).
+// Timestamps and durations are microseconds.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// chromeTrace is the top-level Chrome trace JSON object.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit is a viewer hint; event timestamps stay in µs.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	// Dropped counts unpaired boundaries (a begin whose end was
+	// overwritten by the ring, or vice versa) excluded from the export.
+	Dropped int `json:"emsimDroppedBoundaries"`
+}
+
+// pairKey scopes begin/end matching: spans pair up within one (lane,
+// name) track, which is how the recorder's producers nest them.
+type pairKey struct {
+	lane int
+	name string
+}
+
+// WriteChromeTrace renders events (as returned by Snapshot) as Chrome
+// trace JSON. Begin/end boundaries are paired into complete events so a
+// ring that wrapped mid-span — orphaning one side of a pair — still
+// yields a well-formed trace; orphans are counted, not emitted.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	open := map[pairKey][]int64{} // stack of begin timestamps per track
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for _, e := range events {
+		k := pairKey{lane: e.Lane, name: e.Name}
+		if !e.End {
+			open[k] = append(open[k], e.Nanos)
+			continue
+		}
+		stack := open[k]
+		if len(stack) == 0 {
+			out.Dropped++ // end without a surviving begin
+			continue
+		}
+		start := stack[len(stack)-1]
+		open[k] = stack[:len(stack)-1]
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: e.Name,
+			Ph:   "X",
+			Ts:   float64(start) / 1e3,
+			Dur:  float64(e.Nanos-start) / 1e3,
+			Pid:  1,
+			Tid:  e.Lane,
+		})
+	}
+	for _, stack := range open {
+		out.Dropped += len(stack) // begin without a surviving end
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&out)
+}

@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the metrics half of the observability layer: a
+// stdlib-only registry of counters, gauges and fixed-bucket histograms,
+// rendered in the Prometheus text exposition format. It replaces the
+// ad-hoc expvar sprawl with one model: metrics are registered once (at
+// construction time, with their label sets fixed), observed lock-free
+// through atomics, and scraped deterministically (families in
+// registration order, series in registration order) so two scrapes of
+// identical state render identical bytes.
+
+// metric kinds, for the # TYPE line.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative
+// upper bounds in ascending order; an implicit +Inf bucket catches the
+// tail. Observation is lock-free: one linear bucket scan (the bucket
+// lists are short by design) plus three atomic updates.
+type Histogram struct {
+	bounds []float64       // upper bounds, ascending, +Inf excluded
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-accumulated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DefLatencyBuckets is the default latency histogram layout, in
+// seconds: exponential from 100 µs to ~50 s, matched to the spread
+// between a cached micro-simulation and a full training campaign phase.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50,
+}
+
+// series is one (metric, label set) pair of a family.
+type series struct {
+	labels  string // rendered {k="v",...} suffix, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series []*series
+	seen   map[string]bool // label suffixes, to reject duplicates
+}
+
+// Registry holds one process component's metrics. Registration takes a
+// lock and may allocate; observation is lock-free on the returned
+// handles. The zero Registry is not usable; build one with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter registers (or extends) the named counter family and returns
+// the handle for the given label pairs (alternating key, value). It
+// panics on a malformed label list, a kind conflict with an existing
+// family, or a duplicate (name, labels) registration — all programmer
+// errors, mirroring expvar.Publish.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	s.counter = &Counter{}
+	return s.counter
+}
+
+// Gauge registers the named gauge; see Counter for the contract.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	s.gauge = &Gauge{}
+	return s.gauge
+}
+
+// Histogram registers the named histogram with the given cumulative
+// upper bounds (nil selects DefLatencyBuckets); see Counter for the
+// contract. Bounds must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending", name))
+		}
+	}
+	s := r.register(name, help, kindHistogram, labels)
+	s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return s.hist
+}
+
+func (r *Registry) register(name, help, kind string, labels []string) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %s labels must be key/value pairs", name))
+	}
+	suffix := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, seen: map[string]bool{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s", name, f.kind, kind))
+	}
+	if f.seen[suffix] {
+		panic(fmt.Sprintf("obs: duplicate registration of %s%s", name, suffix))
+	}
+	f.seen[suffix] = true
+	s := &series{labels: suffix}
+	f.series = append(f.series, s)
+	return s
+}
+
+// renderLabels builds the {k="v",...} suffix, keys sorted so the same
+// label set always renders identically.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels splices extra pairs (le for histogram buckets) into a
+// rendered label suffix.
+func mergeLabels(suffix, extra string) string {
+	if suffix == "" {
+		return "{" + extra + "}"
+	}
+	return suffix[:len(suffix)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4). Output order is
+// deterministic: families and series in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.order))
+	for i, name := range r.order {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.counter.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.gauge.Value())
+			case kindHistogram:
+				err = writeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.hist
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		le := mergeLabels(s.labels, fmt.Sprintf("le=%q", formatBound(b)))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := mergeLabels(s.labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, s.labels, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest float representation).
+func formatBound(b float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", b), "0"), ".")
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testSpans are registered once for the whole package test process;
+// RegisterSpan is idempotent so every test can name them.
+var (
+	testSpanA = RegisterSpan("test.a")
+	testSpanB = RegisterSpan("test.b")
+)
+
+func TestRegisterSpanIdempotent(t *testing.T) {
+	if got := RegisterSpan("test.a"); got != testSpanA {
+		t.Fatalf("re-registering test.a returned %d, want %d", got, testSpanA)
+	}
+	if testSpanA == 0 || testSpanB == 0 || testSpanA == testSpanB {
+		t.Fatalf("bad span IDs: %d %d", testSpanA, testSpanB)
+	}
+}
+
+func TestDisabledRecorderDropsEvents(t *testing.T) {
+	Enable(64)
+	Disable()
+	Begin(testSpanA, 1)
+	End(testSpanA, 1)
+	if got := Snapshot(); len(got) != 0 {
+		t.Fatalf("disabled recorder captured %d events, want 0", len(got))
+	}
+}
+
+func TestBeginEndSnapshotRoundTrip(t *testing.T) {
+	Enable(64)
+	defer Disable()
+	Begin(testSpanA, 3)
+	Begin(testSpanB, 3)
+	End(testSpanB, 3)
+	End(testSpanA, 3)
+	ev := Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(ev))
+	}
+	wantNames := []string{"test.a", "test.b", "test.b", "test.a"}
+	wantEnd := []bool{false, false, true, true}
+	for i, e := range ev {
+		if e.Name != wantNames[i] || e.End != wantEnd[i] || e.Lane != 3 {
+			t.Errorf("event %d = %+v, want name %s end %v lane 3", i, e, wantNames[i], wantEnd[i])
+		}
+		if i > 0 && e.Nanos < ev[i-1].Nanos {
+			t.Errorf("event %d timestamp %d precedes event %d (%d)", i, e.Nanos, i-1, ev[i-1].Nanos)
+		}
+	}
+}
+
+func TestRingKeepsMostRecentWindow(t *testing.T) {
+	Enable(8)
+	defer Disable()
+	for i := 0; i < 20; i++ {
+		Begin(testSpanA, i)
+	}
+	ev := Snapshot()
+	if len(ev) != 8 {
+		t.Fatalf("snapshot has %d events, want the 8-deep ring", len(ev))
+	}
+	// The surviving window is the last 8 begins: lanes 12..19 (mod 256).
+	lanes := map[int]bool{}
+	for _, e := range ev {
+		lanes[e.Lane] = true
+	}
+	for lane := 12; lane < 20; lane++ {
+		if !lanes[lane] {
+			t.Errorf("ring lost recent event on lane %d; kept %v", lane, lanes)
+		}
+	}
+}
+
+func TestConcurrentRecordingIsSafe(t *testing.T) {
+	Enable(1 << 10)
+	defer Disable()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Begin(testSpanA, w)
+				End(testSpanA, w)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			Snapshot() // scrape while writers run
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(Snapshot()); got != 1<<10 {
+		t.Fatalf("full ring snapshot has %d events, want %d", got, 1<<10)
+	}
+}
+
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	Enable(1 << 10)
+	defer Disable()
+	allocs := testing.AllocsPerRun(100, func() {
+		Begin(testSpanA, 1)
+		End(testSpanA, 1)
+	})
+	if allocs > 0 {
+		t.Errorf("Begin+End allocates %.1f times per pair, want 0", allocs)
+	}
+	Disable()
+	allocs = testing.AllocsPerRun(100, func() {
+		Begin(testSpanA, 1)
+		End(testSpanA, 1)
+	})
+	if allocs > 0 {
+		t.Errorf("disabled Begin+End allocates %.1f times per pair, want 0", allocs)
+	}
+}
+
+func TestWriteChromeTracePairsSpans(t *testing.T) {
+	events := []Event{
+		{Name: "outer", Lane: 1, Nanos: 1000},
+		{Name: "inner", Lane: 1, Nanos: 2000},
+		{Name: "inner", Lane: 1, End: true, Nanos: 3000},
+		{Name: "outer", Lane: 1, End: true, Nanos: 5000},
+		{Name: "orphan-begin", Lane: 2, Nanos: 100},
+		{Name: "orphan-end", Lane: 2, End: true, Nanos: 200},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		Dropped int `json:"emsimDroppedBoundaries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(trace.TraceEvents) != 2 {
+		t.Fatalf("trace has %d events, want 2 paired spans: %s", len(trace.TraceEvents), buf.String())
+	}
+	for _, e := range trace.TraceEvents {
+		if e.Ph != "X" || e.Tid != 1 {
+			t.Errorf("event %+v: want ph X on tid 1", e)
+		}
+		switch e.Name {
+		case "outer":
+			if e.Ts != 1 || e.Dur != 4 {
+				t.Errorf("outer span ts=%g dur=%g, want 1/4 µs", e.Ts, e.Dur)
+			}
+		case "inner":
+			if e.Ts != 2 || e.Dur != 1 {
+				t.Errorf("inner span ts=%g dur=%g, want 2/1 µs", e.Ts, e.Dur)
+			}
+		default:
+			t.Errorf("unexpected span %q in trace", e.Name)
+		}
+	}
+	if trace.Dropped != 2 {
+		t.Errorf("dropped %d boundaries, want 2 (orphan begin + orphan end)", trace.Dropped)
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents":[]`) {
+		t.Fatalf("empty trace should render an empty traceEvents array: %s", buf.String())
+	}
+}
+
+func TestRegistryPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("emsim_requests_total", "accepted requests", "endpoint", "simulate")
+	c2 := r.Counter("emsim_requests_total", "", "endpoint", "tvla")
+	g := r.Gauge("emsim_queue_depth", "queued jobs")
+	h := r.Histogram("emsim_latency_seconds", "request latency", []float64{0.1, 1}, "endpoint", "simulate")
+
+	c.Add(3)
+	c2.Inc()
+	g.Set(7)
+	g.Add(-2)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(30)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP emsim_requests_total accepted requests",
+		"# TYPE emsim_requests_total counter",
+		`emsim_requests_total{endpoint="simulate"} 3`,
+		`emsim_requests_total{endpoint="tvla"} 1`,
+		"# TYPE emsim_queue_depth gauge",
+		"emsim_queue_depth 5",
+		"# TYPE emsim_latency_seconds histogram",
+		`emsim_latency_seconds_bucket{endpoint="simulate",le="0.1"} 1`,
+		`emsim_latency_seconds_bucket{endpoint="simulate",le="1"} 2`,
+		`emsim_latency_seconds_bucket{endpoint="simulate",le="+Inf"} 3`,
+		`emsim_latency_seconds_count{endpoint="simulate"} 3`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	if h.Count() != 3 {
+		t.Errorf("histogram count %d, want 3", h.Count())
+	}
+	if got := h.Sum(); got < 30.5 || got > 30.6 {
+		t.Errorf("histogram sum %g, want 30.55", got)
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b_total", "b")
+		r.Gauge("a_depth", "a")
+		r.Counter("c_total", "c", "k", "1")
+		r.Counter("c_total", "", "k", "2")
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("two identical registries rendered differently:\n%s\n----\n%s", a, b)
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	mustPanic("duplicate", func() { r.Counter("x_total", "") })
+	mustPanic("kind conflict", func() { r.Gauge("x_total", "") })
+	mustPanic("odd labels", func() { r.Counter("y_total", "", "k") })
+	mustPanic("bad buckets", func() { r.Histogram("z", "", []float64{1, 1}) })
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1, 2, 3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(2.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count %d, want 8000", h.Count())
+	}
+	if got, want := h.Sum(), 8000*2.5; got != want {
+		t.Errorf("sum %g, want %g", got, want)
+	}
+}

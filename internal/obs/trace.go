@@ -1,0 +1,226 @@
+// Package obs is the runtime observability layer: a zero-allocation
+// span recorder for the simulation/training/serving hot paths, and a
+// stdlib-only metrics registry (counters, gauges, fixed-bucket
+// histograms) rendered in Prometheus text format.
+//
+// The load-bearing constraint is the determinism contract: spans
+// observe, they never perturb. Instrumented code paths (core.Session,
+// the Trainer phases, the serve job lifecycle, defend.Evaluate arms)
+// produce byte-identical signals and models whether tracing is enabled
+// or not, because recording an event is a pure side channel — a clock
+// read and one atomic store into a pre-allocated ring — that feeds no
+// simulated value. The recorder is also allocation-free in the steady
+// state (//emsim:noalloc-pinned), so enabling it cannot knock the
+// Session's zero-allocation property over either.
+//
+// Span identities are pre-registered (package init time) against a
+// fixed table, so the hot path carries integer IDs only. Events are
+// packed into single uint64 words and written into a fixed ring buffer
+// with atomic claims, making concurrent recording race-free without a
+// lock; when the ring wraps, the oldest events are overwritten — a
+// trace snapshot is always the most recent window.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a pre-registered span name. The zero SpanID is
+// invalid and never recorded.
+type SpanID uint32
+
+// Event layout inside one packed uint64:
+//
+//	bit  63     kind (0 = begin, 1 = end)
+//	bits 51..62 span ID (12 bits, 4095 registered spans)
+//	bits 43..50 lane (8 bits; lanes wrap modulo 256 for display)
+//	bits 0..42  timestamp, 100 ns ticks since the recorder epoch
+//	            (wraps after ~10 days; saturated, not wrapped)
+//
+// A packed value of zero marks an empty slot, which is unambiguous
+// because a valid event always carries a nonzero span ID.
+const (
+	tsBits   = 43
+	tsMask   = 1<<tsBits - 1
+	laneBits = 8
+	laneMask = 1<<laneBits - 1
+	spanBits = 12
+	spanMask = 1<<spanBits - 1
+
+	tickNanos = 100 // recorder resolution
+)
+
+// DefaultRingSize is the event capacity Enable(0) selects: 64 Ki events
+// (512 KiB of ring), roughly the last few thousand simulated traces.
+const DefaultRingSize = 1 << 16
+
+// recorder is one enabled tracing session: a fixed ring of packed
+// events and the epoch its timestamps count from.
+type recorder struct {
+	slots []atomic.Uint64
+	mask  uint64
+	head  atomic.Uint64 // next slot index to claim (monotonic)
+	epoch time.Time
+}
+
+var (
+	// active is the recorder the hot path writes to; nil means tracing
+	// is disabled and Begin/End cost one atomic load.
+	active atomic.Pointer[recorder]
+
+	regMu     sync.Mutex
+	spanNames []string          // index = SpanID-1
+	spanIDs   map[string]SpanID // idempotent re-registration
+	last      *recorder         // most recent recorder, kept for Snapshot after Disable
+)
+
+// RegisterSpan interns a span name and returns its ID. Registration is
+// idempotent (the same name always yields the same ID) and intended for
+// package init time — the steady-state path carries only the returned
+// integer. It panics when the 4095-span table is exhausted, which is a
+// misuse of the pre-registration contract, not a runtime condition.
+func RegisterSpan(name string) SpanID {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if spanIDs == nil {
+		spanIDs = map[string]SpanID{}
+	}
+	if id, ok := spanIDs[name]; ok {
+		return id
+	}
+	if len(spanNames) >= spanMask {
+		panic("obs: span table exhausted; spans must be pre-registered, not minted per call")
+	}
+	spanNames = append(spanNames, name)
+	id := SpanID(len(spanNames))
+	spanIDs[name] = id
+	return id
+}
+
+// laneCounter hands out display lanes; see NextLane.
+var laneCounter atomic.Int64
+
+// NextLane claims a fresh trace lane — the Chrome-trace "thread" a
+// component's spans render on. Sessions, trainer workers and serve jobs
+// each claim one so their span nesting stays readable. Lanes wrap
+// modulo 256 in the packed event; claiming is an atomic increment and
+// never allocates.
+//
+//emsim:noalloc
+func NextLane() int {
+	return int(laneCounter.Add(1))
+}
+
+// Enable starts recording into a fresh ring of at least size events
+// (rounded up to a power of two; size <= 0 selects DefaultRingSize).
+// Any previous recorder is replaced; its events remain visible to
+// Snapshot only until Enable returns.
+func Enable(size int) {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	rb := &recorder{slots: make([]atomic.Uint64, n), mask: uint64(n - 1)}
+	rb.epoch = time.Now()
+	regMu.Lock()
+	last = rb
+	regMu.Unlock()
+	active.Store(rb)
+}
+
+// Disable stops recording. Events already in the ring stay available to
+// Snapshot until the next Enable.
+func Disable() {
+	active.Store(nil)
+}
+
+// Enabled reports whether the recorder is currently accepting events.
+func Enabled() bool {
+	return active.Load() != nil
+}
+
+// Begin records the start of span s on the given lane. With tracing
+// disabled it is one atomic load and a branch; enabled, it adds a clock
+// read and one atomic store into the pre-allocated ring. It never
+// allocates and is safe for concurrent use.
+//
+//emsim:noalloc
+func Begin(s SpanID, lane int) {
+	record(s, lane, 0)
+}
+
+// End records the end of span s on the given lane; see Begin.
+//
+//emsim:noalloc
+func End(s SpanID, lane int) {
+	record(s, lane, 1)
+}
+
+//emsim:noalloc
+func record(s SpanID, lane int, kind uint64) {
+	rb := active.Load()
+	if rb == nil || s == 0 {
+		return
+	}
+	//emsim:ignore noalloc time.Since reads the monotonic clock without allocating; the time package is simply not on the analyzer's allowlist
+	ticks := uint64(time.Since(rb.epoch)) / tickNanos
+	if ticks > tsMask {
+		ticks = tsMask // saturate after ~10 days rather than fold old events onto new ones
+	}
+	v := kind<<63 | (uint64(s)&spanMask)<<51 | (uint64(lane)&laneMask)<<43 | ticks
+	i := rb.head.Add(1) - 1
+	rb.slots[i&rb.mask].Store(v)
+}
+
+// Event is one decoded span boundary.
+type Event struct {
+	Name  string // registered span name
+	Lane  int    // display lane (0..255)
+	End   bool   // false = span begin, true = span end
+	Nanos int64  // 100 ns-granular time since the recorder epoch
+}
+
+// Snapshot decodes the most recent window of recorded events, oldest
+// first (ties broken by ring order). It reads the ring concurrently
+// with writers: an event claimed but not yet stored at snapshot time is
+// simply absent, and a scrape never blocks the hot path. The snapshot
+// survives Disable — only the next Enable discards it.
+func Snapshot() []Event {
+	regMu.Lock()
+	rb := last
+	names := spanNames
+	regMu.Unlock()
+	if rb == nil {
+		return nil
+	}
+	h := rb.head.Load()
+	n := h
+	if n > uint64(len(rb.slots)) {
+		n = uint64(len(rb.slots))
+	}
+	events := make([]Event, 0, n)
+	for k := h - n; k < h; k++ {
+		v := rb.slots[k&rb.mask].Load()
+		if v == 0 {
+			continue
+		}
+		span := int(v >> 51 & spanMask)
+		if span < 1 || span > len(names) {
+			continue
+		}
+		events = append(events, Event{
+			Name:  names[span-1],
+			Lane:  int(v >> 43 & laneMask),
+			End:   v>>63 == 1,
+			Nanos: int64(v&tsMask) * tickNanos,
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Nanos < events[j].Nanos })
+	return events
+}

@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the debug route tree cmd/emsim-serve mounts on
+// its -debug-addr listener: the full net/http/pprof surface plus the
+// same /metrics and /v1/trace endpoints the main listener serves, so a
+// profiling session can correlate profiles with scrapes on one port.
+//
+// The handlers are registered explicitly rather than via the package's
+// side-effect init on http.DefaultServeMux, keeping the debug surface
+// off the public listener entirely — pprof exposes heap contents and
+// must only ever bind a loopback or otherwise protected address.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	return mux
+}

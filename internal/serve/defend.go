@@ -10,7 +10,12 @@ import (
 	"time"
 
 	"emsim/internal/defend"
+	"emsim/internal/obs"
 )
+
+// spanDefendJob covers one defense evaluation's execution, on a lane
+// claimed per job.
+var spanDefendJob = obs.RegisterSpan("serve.defend-job")
 
 // This file is the asynchronous countermeasure-evaluation surface:
 // POST /v1/defend submits a defend.Evaluate campaign against the
@@ -263,6 +268,9 @@ func (dr *defendRegistry) run(ctx context.Context, j *defendJob, opts defend.Opt
 		return
 	}
 	j.setRunning()
+	lane := obs.NextLane()
+	obs.Begin(spanDefendJob, lane)
+	defer obs.End(spanDefendJob, lane)
 	report, err := defend.Evaluate(ctx, opts)
 	if err != nil {
 		finish(nil, err)

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"expvar"
+	"io"
 	"sort"
 	"sync"
 	"time"
+
+	"emsim/internal/obs"
 )
 
 // latencyRingSize is the number of recent request latencies the
@@ -15,7 +18,8 @@ const latencyRingSize = 1024
 // are the scheduler's workers (one observation per completed job);
 // readers are /varz scrapes, which copy the window out under the lock
 // and sort the copy, so a scrape never blocks the hot path for more
-// than the copy.
+// than the copy. It backs the /varz percentile summary; the cumulative
+// Prometheus histograms live in the obs registry.
 type latencyRing struct {
 	mu    sync.Mutex
 	buf   [latencyRingSize]float64 // milliseconds
@@ -60,56 +64,132 @@ func (r *latencyRing) summary() map[string]float64 {
 	}
 }
 
-// metrics is the server's observable state, published as a standalone
-// expvar.Map (not registered in the process-global expvar namespace, so
-// tests can build many servers without Publish panicking on duplicate
-// names; cmd/emsim-serve additionally registers it globally once).
+// metrics is the server's observable state. Every counter and gauge
+// lives in a per-server obs.Registry (rendered at GET /metrics in
+// Prometheus text format) and is simultaneously bridged into an
+// expvar.Map so the established /varz JSON keys keep their exact shape.
+// The registry is per-server — not process-global — so tests can build
+// many servers without duplicate-registration panics; cmd/emsim-serve
+// additionally publishes the expvar map globally once.
 type metrics struct {
-	queueDepth expvar.Int // jobs accepted but not yet picked up
-	inFlight   expvar.Int // jobs currently executing on a worker
-	requests   expvar.Int // requests accepted into the queue
-	rejected   expvar.Int // requests shed with 429 (queue full)
-	cancelled  expvar.Int // jobs that ended with a cancelled context
-	cycles     expvar.Int // total simulated clock cycles
+	reg *obs.Registry
+
+	queueDepth *obs.Gauge   // jobs accepted but not yet picked up
+	inFlight   *obs.Gauge   // jobs currently executing on a worker
+	requests   *obs.Counter // requests accepted into the queue
+	rejected   *obs.Counter // requests shed with 429 (queue full)
+	cancelled  *obs.Counter // jobs that ended with a cancelled context
+	cycles     *obs.Counter // total simulated clock cycles
 	latency    latencyRing
 
-	trainsSubmitted expvar.Int // training jobs accepted
-	trainsActive    expvar.Int // training jobs queued or running
-	trainsDone      expvar.Int // training jobs that fitted a model
-	trainsFailed    expvar.Int // training jobs that ended in error
-	trainsCancelled expvar.Int // training jobs cancelled by the client or drain
+	// reqLatency holds the per-endpoint request-duration histograms,
+	// keyed by the job's endpoint label ("" falls back to "other").
+	reqLatency map[string]*obs.Histogram
 
-	defendsSubmitted expvar.Int // defense-evaluation jobs accepted
-	defendsActive    expvar.Int // defense-evaluation jobs queued or running
-	defendsDone      expvar.Int // defense-evaluation jobs that produced a report
-	defendsFailed    expvar.Int // defense-evaluation jobs that ended in error
-	defendsCancelled expvar.Int // defense-evaluation jobs cancelled by the client or drain
+	trainsSubmitted *obs.Counter // training jobs accepted
+	trainsActive    *obs.Gauge   // training jobs queued or running
+	trainsDone      *obs.Counter // training jobs that fitted a model
+	trainsFailed    *obs.Counter // training jobs that ended in error
+	trainsCancelled *obs.Counter // training jobs cancelled by the client or drain
+
+	// phaseLatency records per-phase training campaign durations, by
+	// core.Phase index.
+	phaseLatency []*obs.Histogram
+
+	defendsSubmitted *obs.Counter // defense-evaluation jobs accepted
+	defendsActive    *obs.Gauge   // defense-evaluation jobs queued or running
+	defendsDone      *obs.Counter // defense-evaluation jobs that produced a report
+	defendsFailed    *obs.Counter // defense-evaluation jobs that ended in error
+	defendsCancelled *obs.Counter // defense-evaluation jobs cancelled by the client or drain
 
 	vars expvar.Map
 }
 
-func newMetrics() *metrics {
-	m := &metrics{}
+// endpoints are the request-duration histogram labels; jobs carry one.
+var endpoints = []string{"simulate", "tvla", "savat", "attribute", "other"}
+
+func newMetrics(phases []string) *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg:        reg,
+		queueDepth: reg.Gauge("emsim_queue_depth", "jobs accepted but not yet picked up"),
+		inFlight:   reg.Gauge("emsim_jobs_in_flight", "jobs currently executing on a worker"),
+		requests:   reg.Counter("emsim_requests_accepted_total", "requests accepted into the queue"),
+		rejected:   reg.Counter("emsim_requests_rejected_total", "requests shed with 429 (queue full)"),
+		cancelled:  reg.Counter("emsim_requests_cancelled_total", "jobs that ended with a cancelled context"),
+		cycles:     reg.Counter("emsim_simulated_cycles_total", "total simulated clock cycles"),
+
+		trainsSubmitted: reg.Counter("emsim_train_jobs_submitted_total", "training jobs accepted"),
+		trainsActive:    reg.Gauge("emsim_train_jobs_active", "training jobs queued or running"),
+		trainsDone:      reg.Counter("emsim_train_jobs_total", "finished training jobs by outcome", "state", "done"),
+		trainsFailed:    reg.Counter("emsim_train_jobs_total", "", "state", "failed"),
+		trainsCancelled: reg.Counter("emsim_train_jobs_total", "", "state", "cancelled"),
+
+		defendsSubmitted: reg.Counter("emsim_defend_jobs_submitted_total", "defense-evaluation jobs accepted"),
+		defendsActive:    reg.Gauge("emsim_defend_jobs_active", "defense-evaluation jobs queued or running"),
+		defendsDone:      reg.Counter("emsim_defend_jobs_total", "finished defense-evaluation jobs by outcome", "state", "done"),
+		defendsFailed:    reg.Counter("emsim_defend_jobs_total", "", "state", "failed"),
+		defendsCancelled: reg.Counter("emsim_defend_jobs_total", "", "state", "cancelled"),
+	}
+	m.reqLatency = make(map[string]*obs.Histogram, len(endpoints))
+	help := "request execution time on a worker, by endpoint"
+	for _, ep := range endpoints {
+		m.reqLatency[ep] = reg.Histogram("emsim_request_duration_seconds", help, nil, "endpoint", ep)
+		help = ""
+	}
+	help = "training campaign phase duration"
+	for _, p := range phases {
+		m.phaseLatency = append(m.phaseLatency,
+			reg.Histogram("emsim_train_phase_duration_seconds", help, nil, "phase", p))
+		help = ""
+	}
+
+	// The /varz bridge: identical JSON keys to the pre-registry expvar
+	// era, read through the registry handles.
+	intVar := func(v interface{ Value() int64 }) expvar.Func {
+		return func() any { return v.Value() }
+	}
 	m.vars.Init()
-	m.vars.Set("queue_depth", &m.queueDepth)
-	m.vars.Set("in_flight", &m.inFlight)
-	m.vars.Set("requests_accepted", &m.requests)
-	m.vars.Set("requests_rejected", &m.rejected)
-	m.vars.Set("requests_cancelled", &m.cancelled)
-	m.vars.Set("cycles_simulated", &m.cycles)
+	m.vars.Set("queue_depth", intVar(m.queueDepth))
+	m.vars.Set("in_flight", intVar(m.inFlight))
+	m.vars.Set("requests_accepted", intVar(m.requests))
+	m.vars.Set("requests_rejected", intVar(m.rejected))
+	m.vars.Set("requests_cancelled", intVar(m.cancelled))
+	m.vars.Set("cycles_simulated", intVar(m.cycles))
 	m.vars.Set("latency", expvar.Func(func() any { return m.latency.summary() }))
-	m.vars.Set("trains_submitted", &m.trainsSubmitted)
-	m.vars.Set("trains_active", &m.trainsActive)
-	m.vars.Set("trains_done", &m.trainsDone)
-	m.vars.Set("trains_failed", &m.trainsFailed)
-	m.vars.Set("trains_cancelled", &m.trainsCancelled)
-	m.vars.Set("defends_submitted", &m.defendsSubmitted)
-	m.vars.Set("defends_active", &m.defendsActive)
-	m.vars.Set("defends_done", &m.defendsDone)
-	m.vars.Set("defends_failed", &m.defendsFailed)
-	m.vars.Set("defends_cancelled", &m.defendsCancelled)
+	m.vars.Set("trains_submitted", intVar(m.trainsSubmitted))
+	m.vars.Set("trains_active", intVar(m.trainsActive))
+	m.vars.Set("trains_done", intVar(m.trainsDone))
+	m.vars.Set("trains_failed", intVar(m.trainsFailed))
+	m.vars.Set("trains_cancelled", intVar(m.trainsCancelled))
+	m.vars.Set("defends_submitted", intVar(m.defendsSubmitted))
+	m.vars.Set("defends_active", intVar(m.defendsActive))
+	m.vars.Set("defends_done", intVar(m.defendsDone))
+	m.vars.Set("defends_failed", intVar(m.defendsFailed))
+	m.vars.Set("defends_cancelled", intVar(m.defendsCancelled))
 	return m
 }
+
+// observeRequest records one completed job's execution time into the
+// /varz percentile ring and the endpoint's Prometheus histogram.
+func (m *metrics) observeRequest(endpoint string, d time.Duration) {
+	m.latency.observe(d)
+	h := m.reqLatency[endpoint]
+	if h == nil {
+		h = m.reqLatency["other"]
+	}
+	h.Observe(d.Seconds())
+}
+
+// observePhase records one training phase's campaign duration.
+func (m *metrics) observePhase(phase int, d time.Duration) {
+	if phase >= 0 && phase < len(m.phaseLatency) {
+		m.phaseLatency[phase].Observe(d.Seconds())
+	}
+}
+
+// writePrometheus renders the registry for GET /metrics.
+func (m *metrics) writePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
 
 // Vars exposes the metrics map so cmd/emsim-serve can publish it in the
 // process-global expvar namespace.

@@ -96,13 +96,13 @@ func TestDrainCancelsOutsideRegistryLock(t *testing.T) {
 	// funcs outside it. A cancel that re-enters the registry (context
 	// machinery running arbitrary callbacks) deadlocked under the old
 	// ordering.
-	tr := newTrainRegistry(context.Background(), 1, newMetrics())
+	tr := newTrainRegistry(context.Background(), 1, newMetrics(nil))
 	jt := &trainJob{id: "train-1", state: trainQueued}
 	jt.cancel = func() { tr.get(jt.id) }
 	tr.jobs[jt.id] = jt
 	tr.order = append(tr.order, jt.id)
 
-	dr := newDefendRegistry(context.Background(), 1, newMetrics())
+	dr := newDefendRegistry(context.Background(), 1, newMetrics(nil))
 	jd := &defendJob{id: "defend-1", state: defendQueued, armDone: map[string]int{}}
 	jd.cancel = func() { dr.get(jd.id) }
 	dr.jobs[jd.id] = jd

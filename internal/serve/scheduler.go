@@ -8,6 +8,15 @@ import (
 
 	"emsim/internal/core"
 	"emsim/internal/cpu"
+	"emsim/internal/obs"
+)
+
+// Scheduler span identities: queued covers enqueue→dequeue, run covers
+// the job's execution on a worker. Both render on the job's lane, so
+// one request reads as queue-wait followed by run on a single track.
+var (
+	spanQueued = obs.RegisterSpan("serve.queued")
+	spanRun    = obs.RegisterSpan("serve.run")
 )
 
 // Submission errors. Handlers map errQueueFull to 429 + Retry-After and
@@ -22,10 +31,12 @@ var (
 // pooled session and closes done. run's closure owns the response state,
 // so the handler must not read it before done is closed.
 type job struct {
-	ctx  context.Context
-	run  func(ctx context.Context, sess *core.Session) (cycles int, err error)
-	done chan struct{}
-	err  error
+	ctx      context.Context
+	run      func(ctx context.Context, sess *core.Session) (cycles int, err error)
+	done     chan struct{}
+	err      error
+	endpoint string // request-duration histogram label ("simulate", "tvla", ...)
+	lane     int    // trace lane; claimed on successful submit
 }
 
 // scheduler is the fixed-size worker pool behind the HTTP handlers: a
@@ -71,12 +82,15 @@ func (s *scheduler) submit(j *job) error {
 	if s.closed {
 		return errDraining
 	}
+	j.lane = obs.NextLane()
+	obs.Begin(spanQueued, j.lane)
 	select {
 	case s.queue <- j:
 		s.met.requests.Add(1)
 		s.met.queueDepth.Add(1)
 		return nil
 	default:
+		obs.End(spanQueued, j.lane)
 		s.met.rejected.Add(1)
 		return errQueueFull
 	}
@@ -89,6 +103,7 @@ func (s *scheduler) worker(sess *core.Session) {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.met.queueDepth.Add(-1)
+		obs.End(spanQueued, j.lane)
 		if err := j.ctx.Err(); err != nil {
 			j.err = err
 			s.met.cancelled.Add(1)
@@ -96,9 +111,11 @@ func (s *scheduler) worker(sess *core.Session) {
 			continue
 		}
 		s.met.inFlight.Add(1)
+		obs.Begin(spanRun, j.lane)
 		start := time.Now()
 		cycles, err := j.run(j.ctx, sess)
-		s.met.latency.observe(time.Since(start))
+		obs.End(spanRun, j.lane)
+		s.met.observeRequest(j.endpoint, time.Since(start))
 		s.met.cycles.Add(int64(cycles))
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			s.met.cancelled.Add(1)

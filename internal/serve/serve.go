@@ -21,7 +21,11 @@ import (
 
 	"emsim/internal/core"
 	"emsim/internal/cpu"
+	"emsim/internal/obs"
 )
+
+// spanDrain covers Server.Close's full drain (scheduler + registries).
+var spanDrain = obs.RegisterSpan("serve.drain")
 
 // Config tunes the service. The zero value serves with sensible
 // defaults; see each field.
@@ -141,7 +145,11 @@ type Server struct {
 // invalid model/config fails here rather than on the first request.
 func New(m *core.Model, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	met := newMetrics()
+	phases := make([]string, core.NumPhases)
+	for p := 0; p < core.NumPhases; p++ {
+		phases[p] = core.Phase(p).String()
+	}
+	met := newMetrics(phases)
 	sched, err := newScheduler(m, cfg.CPU, cfg.Workers, cfg.QueueDepth, met)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -161,6 +169,8 @@ func New(m *core.Model, cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/defend/{id}", s.handleDefendCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	return s, nil
 }
 
@@ -177,6 +187,8 @@ func (s *Server) Vars() *expvar.Map { return s.met.Vars() }
 // after http.Server.Shutdown so late handlers see errDraining instead
 // of a send on a closed queue.
 func (s *Server) Close() {
+	obs.Begin(spanDrain, 0)
+	defer obs.End(spanDrain, 0)
 	s.sched.drain()
 	s.trains.drain()
 	s.defends.drain()
@@ -194,6 +206,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.met.vars.String())
+}
+
+// handleMetrics renders the per-server registry in Prometheus text
+// exposition format (the structured sibling of /varz).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.met.writePrometheus(w)
+}
+
+// handleTrace serves a Chrome-trace JSON snapshot of the span ring.
+// Recording is process-global and off by default; cmd/emsim-serve
+// enables it (see -trace-events), so a snapshot taken without it is an
+// empty — but well-formed — trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="emsim-trace.json"`)
+	_ = obs.WriteChromeTrace(w, obs.Snapshot())
 }
 
 // writeJSON serializes one response value; encoding errors at this point

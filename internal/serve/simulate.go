@@ -168,8 +168,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 	resp := &simulateResponse{SamplesPerCycle: s.model.SamplesPerCycle}
 	j := &job{
-		ctx:  ctx,
-		done: make(chan struct{}),
+		ctx:      ctx,
+		done:     make(chan struct{}),
+		endpoint: "simulate",
 		run: func(ctx context.Context, sess *core.Session) (int, error) {
 			var acc *stageAccumulator
 			if req.IncludeStages {

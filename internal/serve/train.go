@@ -12,7 +12,12 @@ import (
 
 	"emsim/internal/core"
 	"emsim/internal/device"
+	"emsim/internal/obs"
 )
+
+// spanTrainJob covers one training campaign's execution (slot acquired
+// to model serialized), on a lane claimed per job.
+var spanTrainJob = obs.RegisterSpan("serve.train-job")
 
 // This file is the asynchronous training surface: POST /v1/train submits
 // a campaign against a fresh synthetic device and returns a job ID;
@@ -266,6 +271,9 @@ func (tr *trainRegistry) run(ctx context.Context, j *trainJob, opts core.TrainOp
 		return
 	}
 	j.setRunning()
+	lane := obs.NextLane()
+	obs.Begin(spanTrainJob, lane)
+	defer obs.End(spanTrainJob, lane)
 	dev, err := device.New(devOpts)
 	if err != nil {
 		finish(nil, err)
@@ -277,6 +285,11 @@ func (tr *trainRegistry) run(ctx context.Context, j *trainJob, opts core.TrainOp
 		return
 	}
 	m, err := t.Run(ctx)
+	for p, d := range t.PhaseTimings() {
+		if d > 0 {
+			tr.met.observePhase(p, d)
+		}
+	}
 	if err != nil {
 		finish(nil, err)
 		return

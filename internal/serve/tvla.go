@@ -104,8 +104,9 @@ func (s *Server) handleTVLA(w http.ResponseWriter, r *http.Request) {
 
 	var res *leakage.TVLAResult
 	j := &job{
-		ctx:  ctx,
-		done: make(chan struct{}),
+		ctx:      ctx,
+		done:     make(chan struct{}),
+		endpoint: "tvla",
 		run: func(ctx context.Context, sess *core.Session) (int, error) {
 			cycles := 0
 			noise := rand.New(rand.NewSource(seed + 1))

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTVLATraceEdgeCases pins the group-shape contract of TVLATrace:
+// unequal group sizes are legal (Welch's test does not assume balance),
+// a single-trace group is rejected with a diagnostic naming both sizes,
+// ragged traces are rejected, and zero-width traces yield an empty —
+// not nil-with-error — t trace.
+func TestTVLATraceEdgeCases(t *testing.T) {
+	cases := []struct {
+		name          string
+		fixed, random [][]float64
+		wantErr       string // substring, "" for success
+		check         func(*testing.T, []float64)
+	}{
+		{
+			name:   "unequal group sizes are supported",
+			fixed:  [][]float64{{0, 1}, {0, 1}},
+			random: [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}, {1, 1}},
+			check: func(t *testing.T, tv []float64) {
+				if !math.IsInf(tv[0], -1) {
+					t.Errorf("t[0] = %v, want -Inf (constant 0 vs constant 1)", tv[0])
+				}
+				if tv[1] != 0 {
+					t.Errorf("t[1] = %v, want 0 (both groups constant 1)", tv[1])
+				}
+			},
+		},
+		{
+			name:    "single fixed trace rejected",
+			fixed:   [][]float64{{1, 2}},
+			random:  [][]float64{{1, 2}, {1, 2}, {1, 2}},
+			wantErr: ">= 2 traces per group (1, 3)",
+		},
+		{
+			name:    "single random trace rejected",
+			fixed:   [][]float64{{1, 2}, {1, 2}},
+			random:  [][]float64{{1, 2}},
+			wantErr: ">= 2 traces per group (2, 1)",
+		},
+		{
+			name:    "empty groups rejected",
+			fixed:   nil,
+			random:  nil,
+			wantErr: ">= 2 traces per group (0, 0)",
+		},
+		{
+			name:    "ragged fixed trace rejected",
+			fixed:   [][]float64{{1, 2}, {1}},
+			random:  [][]float64{{1, 2}, {1, 2}},
+			wantErr: "ragged fixed trace",
+		},
+		{
+			name:    "ragged random trace rejected",
+			fixed:   [][]float64{{1, 2}, {1, 2}},
+			random:  [][]float64{{1, 2}, {1, 2, 3}},
+			wantErr: "ragged random trace",
+		},
+		{
+			name:   "zero-width traces yield an empty t trace",
+			fixed:  [][]float64{{}, {}},
+			random: [][]float64{{}, {}},
+			check: func(t *testing.T, tv []float64) {
+				if len(tv) != 0 {
+					t.Errorf("t trace has %d samples, want 0", len(tv))
+				}
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tv, err := TVLATrace(tc.fixed, tc.random)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got %v", tc.wantErr, tv)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, tv)
+		})
+	}
+}
+
+// TestWelchTNaNPropagates pins that a NaN sample yields a NaN statistic
+// (rather than a panic, an error, or a spurious finite value): NaN fails
+// the negligible-standard-error comparison, so the division runs and
+// carries the NaN through.
+func TestWelchTNaNPropagates(t *testing.T) {
+	a := []float64{1, math.NaN(), 1}
+	b := []float64{2, 2, 2}
+	tv, _, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(tv) {
+		t.Errorf("WelchT with a NaN sample = %v, want NaN", tv)
+	}
+}
+
+// TestTVLALeakyPointsBoundary pins that the 4.5 line is exclusive and
+// that NaN values are never flagged.
+func TestTVLALeakyPointsBoundary(t *testing.T) {
+	got := TVLALeakyPoints([]float64{math.NaN(), 5, -5, TVLAThreshold, math.Inf(1)})
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("leaky points %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("leaky points %v, want %v", got, want)
+		}
+	}
+}

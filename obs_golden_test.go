@@ -1,0 +1,53 @@
+package emsim
+
+import (
+	"math"
+	"testing"
+
+	"emsim/internal/obs"
+)
+
+// TestGoldenSignalsTracedBitIdentical is the observability layer's
+// determinism gate over the golden corpus: every fixture's reconstructed
+// signal must be byte-for-byte identical with the span recorder enabled
+// and disabled. The recorder reads the clock but must never feed back
+// into the simulation — a single differing bit here means instrumentation
+// changed the science.
+func TestGoldenSignalsTracedBitIdentical(t *testing.T) {
+	m := goldenModel(t)
+	names := goldenPrograms(t)
+
+	obs.Disable()
+	plain := make(map[string][]float64, len(names))
+	for _, name := range names {
+		plain[name] = simulateFixture(t, m, name)
+	}
+
+	obs.Enable(1 << 12)
+	defer obs.Disable()
+	for _, name := range names {
+		traced := simulateFixture(t, m, name)
+		want := plain[name]
+		if len(traced) != len(want) {
+			t.Fatalf("%s: traced run produced %d samples, untraced %d", name, len(traced), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(traced[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("%s: sample %d differs with tracing on: %x vs %x",
+					name, i, math.Float64bits(traced[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+
+	// And the traced runs must actually have been traced.
+	found := false
+	for _, e := range obs.Snapshot() {
+		if e.Name == "session.simulate" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no session.simulate span recorded during the traced corpus run")
+	}
+}

@@ -11,6 +11,16 @@ BASE="http://$ADDR"
 BIN="$(mktemp -d)/emsim-serve"
 LOG="$(mktemp)"
 
+# Fail fast if the port is already bound. Without this check the health
+# poll below happily talks to whatever stale process holds the port, and
+# the script "passes" against the wrong server while our own binary dies
+# with "address already in use" in the background.
+if (exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}") 2>/dev/null; then
+  exec 3>&- 3<&- || true
+  echo "serve-smoke: $ADDR is already in use; stop the stale listener first" >&2
+  exit 1
+fi
+
 cleanup() {
   kill "$SERVER_PID" 2>/dev/null || true
   cat "$LOG" >&2 || true
