@@ -18,6 +18,7 @@ import (
 	"emsim/internal/core"
 	"emsim/internal/experiments"
 	"emsim/internal/leakage"
+	"emsim/internal/stats"
 )
 
 var (
@@ -471,5 +472,116 @@ func BenchmarkTrainingBudgetStudy(b *testing.B) {
 		starved := r.Points[len(r.Points)-1]
 		b.ReportMetric(full.Accuracy, "accuracy:full-budget")
 		b.ReportMetric(starved.Accuracy, "accuracy:starved-budget")
+	}
+}
+
+// Attack-sweep benchmark geometry; matches the experiments study.
+const (
+	benchSweepWidth   = 64
+	benchSweepGuesses = 64
+	benchSweepStep    = 64
+)
+
+// benchSweepData builds the synthetic campaign for BenchmarkAttackSweep:
+// n TVLA pairs and n CPA traces with one planted leak each, everything
+// else Gaussian noise. Generation happens outside the timed region.
+func benchSweepData(n int) (fixed, random, traces, hyp [][]float64) {
+	rng := rand.New(rand.NewSource(7))
+	leakCol, leakGuess := benchSweepWidth/3, 5
+	fixed = make([][]float64, n)
+	random = make([][]float64, n)
+	traces = make([][]float64, n)
+	hyp = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		f := make([]float64, benchSweepWidth)
+		r := make([]float64, benchSweepWidth)
+		tr := make([]float64, benchSweepWidth)
+		h := make([]float64, benchSweepGuesses)
+		for c := range f {
+			f[c] = rng.NormFloat64()
+			r[c] = rng.NormFloat64()
+			tr[c] = rng.NormFloat64()
+		}
+		f[leakCol] += 0.8
+		for g := range h {
+			h[g] = float64(rng.Intn(9))
+		}
+		tr[leakCol] += 0.5 * h[leakGuess]
+		fixed[i], random[i], traces[i], hyp[i] = f, r, tr, h
+	}
+	return fixed, random, traces, hyp
+}
+
+// BenchmarkAttackSweep measures the security-sweep analytics (a TVLA
+// detection curve plus a CPA key-rank curve with a sweep point every 64
+// traces) at a ladder of campaign sizes, comparing the buffered-recompute
+// formulation — retain every trace, recompute each sweep point from
+// scratch, the shape defend.Evaluate had before streaming — against the
+// one-pass accumulators. B/op is the headline memory number: buffered
+// grows O(traces×samples) while streaming holds O(guesses×samples)
+// state regardless of campaign length.
+func BenchmarkAttackSweep(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		fixed, random, traces, hyp := benchSweepData(n)
+		b.Run(fmt.Sprintf("buffered/traces=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bufF := make([][]float64, 0, n)
+				bufR := make([][]float64, 0, n)
+				bufT := make([][]float64, 0, n)
+				bufH := make([][]float64, 0, n)
+				for t := 0; t < n; t++ {
+					bufF = append(bufF, append([]float64(nil), fixed[t]...))
+					bufR = append(bufR, append([]float64(nil), random[t]...))
+					bufT = append(bufT, append([]float64(nil), traces[t]...))
+					bufH = append(bufH, append([]float64(nil), hyp[t]...))
+					if (t+1)%benchSweepStep != 0 {
+						continue
+					}
+					if _, err := stats.TVLATrace(bufF, bufR); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := leakage.CPA(bufT, bufH); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportTracesPerSec(b, n)
+		})
+		b.Run(fmt.Sprintf("streaming/traces=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tv := leakage.NewTVLAStream()
+				cpa := leakage.NewCPAStream(benchSweepGuesses, 0, 0)
+				for t := 0; t < n; t++ {
+					if err := tv.AddFixed(fixed[t]); err != nil {
+						b.Fatal(err)
+					}
+					if err := tv.AddRandom(random[t]); err != nil {
+						b.Fatal(err)
+					}
+					if err := cpa.Add(traces[t], hyp[t]); err != nil {
+						b.Fatal(err)
+					}
+					if (t+1)%benchSweepStep != 0 {
+						continue
+					}
+					if _, err := tv.MaxAbsT(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := cpa.Snapshot(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			reportTracesPerSec(b, n)
+		})
+	}
+}
+
+func reportTracesPerSec(b *testing.B, n int) {
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "traces/s")
 	}
 }

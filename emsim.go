@@ -167,6 +167,16 @@ type (
 	TraceSource = leakage.TraceSource
 	// SavatInst enumerates Table II's instruction events.
 	SavatInst = leakage.SavatInst
+	// TVLAStream is the one-pass TVLA assessment: traces fold into
+	// running moments one at a time and are discarded, so an
+	// arbitrarily long campaign runs in constant memory with the t
+	// statistic available at any prefix.
+	TVLAStream = leakage.TVLAStream
+	// CPAStream is the one-pass correlation power attack; memory is
+	// O(guesses × sample points), independent of trace count.
+	CPAStream = leakage.CPAStream
+	// CPAResult is a CPA ranking outcome.
+	CPAResult = leakage.CPAResult
 )
 
 // Experiments.
@@ -255,6 +265,18 @@ func BuildAES(key, plaintext [16]byte) (*AESProgram, error) {
 // TVLA runs the fixed-vs-random t-test protocol over a trace source.
 func TVLA(src TraceSource, fixed [16]byte, rng *rand.Rand, tracesPerGroup int) (*TVLAResult, error) {
 	return leakage.TVLA(src, fixed, rng, tracesPerGroup)
+}
+
+// NewTVLAStream returns an empty streaming TVLA assessment; feed it with
+// AddFixed/AddRandom and read the statistic at any prefix via Snapshot.
+func NewTVLAStream() *TVLAStream { return leakage.NewTVLAStream() }
+
+// NewCPAStream returns an empty streaming CPA attack over the given
+// candidate count. points > 0 restricts the attack to the
+// highest-variance columns of the first pilot traces; 0 attacks every
+// column.
+func NewCPAStream(guesses, points, pilot int) *CPAStream {
+	return leakage.NewCPAStream(guesses, points, pilot)
 }
 
 // Countermeasure modeling and evaluation.

@@ -3,10 +3,8 @@ package defend
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -21,11 +19,14 @@ import (
 
 // Evaluation span identities: evaluate covers the whole two-arm
 // campaign and arm one arm's TVLA+CPA sweep (both on the campaign's
-// lane); trace covers one simulated trace on its worker's lane.
+// lane); trace covers one simulated trace on its worker's lane; analyze
+// covers one accumulator snapshot (a sweep point) on the arm's
+// analysis lane.
 var (
 	spanEvaluate = obs.RegisterSpan("defend.evaluate")
 	spanArm      = obs.RegisterSpan("defend.arm")
 	spanTrace    = obs.RegisterSpan("defend.trace")
+	spanAnalyze  = obs.RegisterSpan("defend.analyze")
 )
 
 // Default secrets of the evaluation workload: the FIPS-197 example key
@@ -105,20 +106,14 @@ func (o Options) withDefaults() (Options, error) {
 	if o.TVLATraces == 0 {
 		o.TVLATraces = 64
 	}
-	if o.TVLATraces < 4 {
-		return o, fmt.Errorf("defend: TVLATraces %d; need >= 4 per group", o.TVLATraces)
-	}
 	if o.CPATraces == 0 {
 		o.CPATraces = 512
-	}
-	if o.CPATraces < 12 {
-		return o, fmt.Errorf("defend: CPATraces %d; need >= 12", o.CPATraces)
 	}
 	if o.CPAStep == 0 {
 		o.CPAStep = 64
 	}
-	if o.CPAStep < 4 {
-		return o, fmt.Errorf("defend: CPAStep %d; need >= 4", o.CPAStep)
+	if err := CheckBudget(o.TVLATraces, o.CPATraces, o.CPAStep); err != nil {
+		return o, err
 	}
 	if o.CPAStep > o.CPATraces {
 		o.CPAStep = o.CPATraces
@@ -133,6 +128,25 @@ func (o Options) withDefaults() (Options, error) {
 		return o, fmt.Errorf("defend: NoiseStd %g; need > 0 (a noiseless fixed group has infinite t)", o.NoiseStd)
 	}
 	return o, nil
+}
+
+// CheckBudget validates an attack-budget triple against the campaign
+// minimums (TVLA needs 4 traces per group for a stable t statistic, CPA
+// needs 12 traces and a grid step of 4). Zero values mean "use the
+// default" and pass. Both Evaluate and the serving layer's request
+// validation share this, so a bad budget fails fast at the API edge
+// with the same diagnostic the library would give.
+func CheckBudget(tvlaTraces, cpaTraces, cpaStep int) error {
+	if tvlaTraces != 0 && tvlaTraces < 4 {
+		return fmt.Errorf("defend: TVLATraces %d; need >= 4 per group", tvlaTraces)
+	}
+	if cpaTraces != 0 && cpaTraces < 12 {
+		return fmt.Errorf("defend: CPATraces %d; need >= 12", cpaTraces)
+	}
+	if cpaStep != 0 && cpaStep < 4 {
+		return fmt.Errorf("defend: CPAStep %d; need >= 4", cpaStep)
+	}
+	return nil
 }
 
 // TVLAPoint is one point of the min-traces-to-detection sweep.
@@ -162,6 +176,17 @@ type ArmResult struct {
 	// byte ranks first at every subsequent grid point (0: not disclosed
 	// within the budget).
 	DiscloseTraces int `json:"disclose_traces"`
+
+	// The attacker's-view trace geometry. Defended traces differ in
+	// length (injected fetch slots), and the analyses align them by
+	// truncating every trace to the shortest — silently, until these
+	// fields surfaced it. *Samples is the surviving per-trace width of
+	// each phase; *Truncated is how many trailing samples the longest
+	// trace lost to that alignment (0 for fixed-length baseline runs).
+	CPASamples    int `json:"cpa_samples"`
+	CPATruncated  int `json:"cpa_truncated"`
+	TVLASamples   int `json:"tvla_samples"`
+	TVLATruncated int `json:"tvla_truncated"`
 }
 
 // SecurityReport compares defended execution against baseline.
@@ -236,9 +261,15 @@ func Evaluate(ctx context.Context, opts Options) (*SecurityReport, error) {
 	return r, nil
 }
 
-// evaluateArm runs one arm's full campaign. The result is independent of
-// worker count and goroutine scheduling: every random choice is keyed by
-// trace identity and every reduction runs index-ordered.
+// evaluateArm runs one arm's full campaign as a single pass: every
+// simulated trace flows straight from the worker reduction into the
+// streaming accumulators (leakage.CPAStream / leakage.TVLAStream) and
+// is discarded, so the arm's resident analysis state is O(poi×guesses)
+// regardless of the trace budget — the buffered formulation held every
+// trace and recomputed each sweep point from scratch. The result is
+// independent of worker count and goroutine scheduling: every random
+// choice is keyed by trace identity and the reduction feeds the
+// accumulators strictly in trace-index order.
 //
 //emsim:ordered
 func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*ArmResult, error) {
@@ -251,8 +282,9 @@ func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*Ar
 			opts.Progress(name, d, total)
 		}
 	}
+	lane := obs.NextLane() // analysis snapshots
 
-	// ---- CPA: simulate the trace population ----
+	// ---- CPA: key-rank curve, one pass ----
 	progs := make([][]uint32, opts.CPATraces)
 	ptByte := make([]byte, opts.CPATraces)
 	for i := range progs {
@@ -268,51 +300,46 @@ func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*Ar
 		progs[i] = prog.Words
 		ptByte[i] = pt[0]
 	}
+	trueGuess := int(opts.Key[0])
+	// With CPAPoints > 0 the stream reduces every trace to the
+	// highest-variance columns of its first CPAStep traces (the pilot) —
+	// cheaper but able to miss low-variance leaks, like the buffered
+	// whole-campaign selection it replaces; 0 attacks every column.
+	cpa := leakage.NewCPAStream(256, opts.CPAPoints, opts.CPAStep)
+	hypRow := make([]float64, 256)
+	var sumCycles, sumInjected float64
 	cpaSeed := int64(stream(opts.Seed, lanePart, 1))
-	amps, cycles, injected, err := simulateAll(ctx, opts, spec, cpaSeed, progs, report)
+	err := streamTraces(ctx, opts, spec, cpaSeed, progs, report, func(i int, amp []float64, cycles, injected int) error {
+		sumCycles += float64(cycles)
+		sumInjected += float64(injected)
+		cpaHypothesisRow(ptByte[i], hypRow)
+		if aerr := cpa.Add(amp, hypRow); aerr != nil {
+			return fmt.Errorf("defend: %s: CPA trace %d: %w", name, i, aerr)
+		}
+		if (i+1)%opts.CPAStep != 0 {
+			return nil
+		}
+		obs.Begin(spanAnalyze, lane)
+		cr, serr := cpa.Snapshot()
+		obs.End(spanAnalyze, lane)
+		if serr != nil {
+			return fmt.Errorf("defend: %s: CPA at %d traces: %w", name, i+1, serr)
+		}
+		res.CPARanks = append(res.CPARanks, RankPoint{Traces: i + 1, Rank: cr.Rank(trueGuess), Margin: cr.Margin()})
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	for i := range cycles {
-		res.MeanCycles += float64(cycles[i])
-		res.MeanInjected += float64(injected[i])
-	}
-	res.MeanCycles /= float64(len(cycles))
-	res.MeanInjected /= float64(len(injected))
-
-	// The attacker's view: truncate to the shortest trace (defended runs
-	// differ in length). By default the attack scans every column; a
-	// positive CPAPoints reduces to the highest-variance columns first,
-	// which is cheaper but can miss low-variance leaks.
-	truncate(amps)
-	red := amps
-	if opts.CPAPoints > 0 {
-		poi := topVarianceColumns(amps, opts.CPAPoints)
-		if len(poi) == 0 {
-			return nil, fmt.Errorf("defend: %s: every trace column is constant; no signal to attack", name)
-		}
-		red = make([][]float64, len(amps))
-		for i, a := range amps {
-			row := make([]float64, len(poi))
-			for k, c := range poi {
-				row[k] = a[c]
-			}
-			red[i] = row
-		}
-	}
-	hyp, trueGuess := cpaHypotheses(opts, ptByte)
-	for t := opts.CPAStep; t <= len(red); t += opts.CPAStep {
-		cr, err := leakage.CPA(red[:t], hyp[:t])
-		if err != nil {
-			return nil, fmt.Errorf("defend: %s: CPA at %d traces: %w", name, t, err)
-		}
-		res.CPARanks = append(res.CPARanks, RankPoint{Traces: t, Rank: cr.Rank(trueGuess), Margin: cr.Margin()})
-	}
+	res.MeanCycles = sumCycles / float64(opts.CPATraces)
+	res.MeanInjected = sumInjected / float64(opts.CPATraces)
+	res.CPASamples = cpa.Samples()
+	res.CPATruncated = cpa.TruncatedSamples()
 	for i := len(res.CPARanks) - 1; i >= 0 && res.CPARanks[i].Rank == 0; i-- {
 		res.DiscloseTraces = res.CPARanks[i].Traces
 	}
 
-	// ---- TVLA: fixed vs random detection sweep ----
+	// ---- TVLA: fixed vs random detection sweep, one pass ----
 	fixedProg, err := aes.BuildProgram(opts.Key, opts.Fixed)
 	if err != nil {
 		return nil, fmt.Errorf("defend: build TVLA fixed program: %w", err)
@@ -331,131 +358,143 @@ func evaluateArm(ctx context.Context, opts Options, name string, spec Spec) (*Ar
 		}
 		tprogs[2*j+1] = prog.Words
 	}
+	tv := leakage.NewTVLAStream()
+	sweep := sweepSizes(opts.TVLATraces)
+	nextSweep := 0
 	tvlaSeed := int64(stream(opts.Seed, lanePart, 2))
-	tamps, _, _, err := simulateAll(ctx, opts, spec, tvlaSeed, tprogs, report)
-	if err != nil {
-		return nil, err
-	}
-	truncate(tamps)
-	fixed := make([][]float64, opts.TVLATraces)
-	random := make([][]float64, opts.TVLATraces)
-	for j := range fixed {
-		fixed[j] = tamps[2*j]
-		random[j] = tamps[2*j+1]
-	}
-	for _, g := range sweepSizes(opts.TVLATraces) {
-		tt, err := stats.TVLATrace(fixed[:g], random[:g])
-		if err != nil {
-			return nil, fmt.Errorf("defend: %s: TVLA at %d traces: %w", name, g, err)
+	err = streamTraces(ctx, opts, spec, tvlaSeed, tprogs, report, func(i int, amp []float64, _, _ int) error {
+		if i%2 == 0 {
+			return tv.AddFixed(amp)
 		}
-		maxAbs := 0.0
-		for _, v := range tt {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
+		if aerr := tv.AddRandom(amp); aerr != nil {
+			return aerr
+		}
+		g := (i + 1) / 2 // complete fixed/random pairs so far
+		if nextSweep >= len(sweep) || g != sweep[nextSweep] {
+			return nil
+		}
+		nextSweep++
+		obs.Begin(spanAnalyze, lane)
+		defer obs.End(spanAnalyze, lane)
+		if g == opts.TVLATraces {
+			// Final sweep point: the full snapshot also yields the leaky
+			// point count at the complete budget.
+			snap, serr := tv.Snapshot()
+			if serr != nil {
+				return fmt.Errorf("defend: %s: TVLA at %d traces: %w", name, g, serr)
 			}
+			res.TVLASweep = append(res.TVLASweep, TVLAPoint{Traces: g, MaxAbsT: snap.MaxAbsT})
+			if res.DetectTraces == 0 && snap.MaxAbsT > stats.TVLAThreshold {
+				res.DetectTraces = g
+			}
+			res.MaxAbsT = snap.MaxAbsT
+			res.LeakyPoints = len(snap.LeakyPoints)
+			return nil
+		}
+		maxAbs, serr := tv.MaxAbsT()
+		if serr != nil {
+			return fmt.Errorf("defend: %s: TVLA at %d traces: %w", name, g, serr)
 		}
 		res.TVLASweep = append(res.TVLASweep, TVLAPoint{Traces: g, MaxAbsT: maxAbs})
 		if res.DetectTraces == 0 && maxAbs > stats.TVLAThreshold {
 			res.DetectTraces = g
 		}
-		if g == opts.TVLATraces {
-			res.MaxAbsT = maxAbs
-			res.LeakyPoints = len(stats.TVLALeakyPoints(tt))
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res.TVLASamples = tv.Samples()
+	res.TVLATruncated = tv.TruncatedSamples()
 	return res, nil
 }
 
-// cpaHypotheses builds the per-trace CPA hypothesis matrix and the true
-// key's candidate index. The distinguisher targets the round-1 S-box
-// lookup transition x -> S(x) (Hamming distance) rather than plain
-// HW(S(x)): the pipeline's amplitude model leaks latch transitions, and
-// the plain-weight model leaves a persistent ghost peak that keeps the
-// true key at rank 1-2. The construction is constant-time in the secret
-// key — the key only selects trueGuess, while the hypothesis table is
-// built for all 256 candidates unconditionally.
-//
-//emsim:ct
-//emsim:secret opts
-func cpaHypotheses(opts Options, ptByte []byte) (hyp [][]float64, trueGuess int) {
-	hyp = make([][]float64, len(ptByte))
-	for i := range hyp {
-		row := make([]float64, 256)
-		for g := 0; g < 256; g++ {
-			x := ptByte[i] ^ byte(g)
-			row[g] = leakage.HammingWeight(uint32(aes.SBox(x) ^ x))
-		}
-		hyp[i] = row
+// cpaHypothesisRow fills row[g] with candidate g's predicted leakage for
+// a trace whose first plaintext byte is pt. The distinguisher targets
+// the round-1 S-box lookup transition x -> S(x) (Hamming distance)
+// rather than plain HW(S(x)): the pipeline's amplitude model leaks latch
+// transitions, and the plain-weight model leaves a persistent ghost peak
+// that keeps the true key at rank 1-2. The table is built for all 256
+// candidates unconditionally from the public plaintext byte; the secret
+// key only selects the true candidate index at the call site.
+func cpaHypothesisRow(pt byte, row []float64) {
+	for g := 0; g < 256; g++ {
+		x := pt ^ byte(g)
+		row[g] = leakage.HammingWeight(uint32(aes.SBox(x) ^ x))
 	}
-	return hyp, int(opts.Key[0])
 }
 
-// simulateAll simulates progs[i] for every i across opts.Workers workers,
-// each with a private defended Session, and returns per-trace amplitude
-// vectors (measurement noise added), cycle counts and injected-slot
-// counts, in input order. Failures propagate like core.SimulateBatch:
-// the lowest-indexed failing trace wins, deterministically.
+// traceOut is one simulated trace crossing from a worker to the
+// consumer: the amplitude vector (noise added, owned by the receiver)
+// plus the run's cycle and injected-slot counts, or the simulation
+// error for that index.
+type traceOut struct {
+	amp      []float64
+	cycles   int
+	injected int
+	err      error
+}
+
+// streamTraces simulates progs[i] for every i across opts.Workers
+// workers, each with a private defended Session, and hands each trace to
+// consume exactly once, in strictly ascending index order, on the caller
+// goroutine — so consume can fold into accumulators without locks and
+// the reduction is byte-identical at any worker count. Traces are
+// discarded after consumption: at most ~2 traces per worker are resident
+// at once, never the campaign.
+//
+// Worker w owns indices w, w+W, w+2W, ... (static round-robin) and sends
+// over its own single-slot channel; the consumer walks the channels in
+// index order, so no select is needed and arrival order cannot leak into
+// the result. Failures propagate like core.SimulateBatch: the
+// lowest-indexed failing trace wins, deterministically. A consume error
+// stops the campaign the same way.
 //
 //emsim:ordered
-func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs [][]uint32, report func(int)) (amps [][]float64, cycles, injected []int, err error) {
+func streamTraces(ctx context.Context, opts Options, spec Spec, seed int64, progs [][]uint32, report func(int), consume func(i int, amp []float64, cycles, injected int) error) error {
 	n := len(progs)
-	amps = make([][]float64, n)
-	cycles = make([]int, n)
-	injected = make([]int, n)
+	if n == 0 {
+		return nil
+	}
 	workers := opts.Workers
 	if workers > n {
 		workers = n
 	}
-	var (
-		next   atomic.Int64
-		errIdx atomic.Int64
-		mu     sync.Mutex
-		wg     sync.WaitGroup
-		errs   = make(map[int]error)
-	)
-	errIdx.Store(int64(n))
-	fail := func(i int, ferr error) {
-		mu.Lock()
-		if _, dup := errs[i]; !dup {
-			errs[i] = ferr
-		}
-		mu.Unlock()
-		for {
-			cur := errIdx.Load()
-			if int64(i) >= cur || errIdx.CompareAndSwap(cur, int64(i)) {
-				return
-			}
-		}
-	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outs := make([]chan traceOut, workers)
+	var wg sync.WaitGroup
 	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
+	for w := range outs {
+		out := make(chan traceOut, 1)
+		outs[w] = out
+		go func(w int, out chan traceOut) {
 			defer wg.Done()
+			defer close(out)
 			var cm Countermeasure
 			if spec.Name != "" {
 				var cerr error
 				if cm, cerr = spec.New(); cerr != nil {
-					fail(-1, cerr)
+					out <- traceOut{err: cerr}
 					return
 				}
 			}
 			sess, serr := NewSession(opts.Model, opts.CPU, cm, seed)
 			if serr != nil {
-				fail(-1, serr)
+				out <- traceOut{err: serr}
 				return
 			}
 			traceLane := obs.NextLane()
 			var buf []float64
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || int64(i) > errIdx.Load() {
+			for i := w; i < n; i += workers {
+				if runCtx.Err() != nil {
 					return
 				}
 				obs.Begin(spanTrace, traceLane)
-				sig, rerr := sess.SimulateTraceInto(ctx, buf, int64(i), progs[i])
+				sig, rerr := sess.SimulateTraceInto(runCtx, buf, int64(i), progs[i])
 				if rerr != nil {
 					obs.End(spanTrace, traceLane)
-					fail(i, rerr)
+					out <- traceOut{err: rerr}
 					continue
 				}
 				noise := rand.New(rand.NewSource(int64(stream(seed, laneNoise, int64(i)))))
@@ -466,89 +505,48 @@ func simulateAll(ctx context.Context, opts Options, spec Spec, seed int64, progs
 				buf = sig[:0]
 				obs.End(spanTrace, traceLane)
 				if aerr != nil {
-					fail(i, aerr)
+					out <- traceOut{err: aerr}
 					continue
 				}
-				amps[i] = amp
-				cycles[i] = sess.Cycles()
-				injected[i] = sess.Stats().Injected
+				out <- traceOut{amp: amp, cycles: sess.Cycles(), injected: sess.Stats().Injected}
 				// report is concurrency-safe (atomic counter, callback
-				// contract allows concurrent calls); invoking it under mu
-				// would run foreign code inside the error critical section.
+				// contract allows concurrent out-of-order calls).
 				report(1)
 			}
-		}()
+		}(w, out)
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		o, ok := <-outs[i%workers]
+		if !ok {
+			// The worker exited after delivering a setup error for an
+			// earlier index; without one this is a missing-trace bug.
+			firstErr = fmt.Errorf("defend: trace %d missing (worker exited early)", i)
+			break
+		}
+		if o.err != nil {
+			firstErr = o.err
+			break
+		}
+		if cerr := consume(i, o.amp, o.cycles, o.injected); cerr != nil {
+			firstErr = cerr
+			break
+		}
+	}
+	if firstErr != nil {
+		cancel()
+		for _, ch := range outs {
+			for range ch {
+			}
+		}
+		wg.Wait()
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return firstErr
 	}
 	wg.Wait()
-	if idx := int(errIdx.Load()); idx < n {
-		if cerr := ctx.Err(); cerr != nil {
-			return nil, nil, nil, cerr
-		}
-		return nil, nil, nil, errs[idx]
-	}
-	return amps, cycles, injected, nil
-}
-
-// truncate cuts every trace to the length of the shortest one, aligning
-// variable-length defended traces into a rectangular matrix.
-func truncate(traces [][]float64) {
-	if len(traces) == 0 {
-		return
-	}
-	w := len(traces[0])
-	for _, tr := range traces {
-		if len(tr) < w {
-			w = len(tr)
-		}
-	}
-	for i := range traces {
-		traces[i] = traces[i][:w]
-	}
-}
-
-// topVarianceColumns returns the indices of the k highest-variance
-// columns (ties broken by index, zero-variance columns excluded), in
-// ascending column order.
-func topVarianceColumns(traces [][]float64, k int) []int {
-	if len(traces) == 0 {
-		return nil
-	}
-	w := len(traces[0])
-	vars := make([]float64, w)
-	for c := 0; c < w; c++ {
-		mean := 0.0
-		for _, tr := range traces {
-			mean += tr[c]
-		}
-		mean /= float64(len(traces))
-		v := 0.0
-		for _, tr := range traces {
-			d := tr[c] - mean
-			v += d * d
-		}
-		vars[c] = v
-	}
-	idx := make([]int, w)
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		if vars[idx[a]] != vars[idx[b]] {
-			return vars[idx[a]] > vars[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	if k > w {
-		k = w
-	}
-	sel := idx[:0:0]
-	for _, c := range idx[:k] {
-		if vars[c] > 0 {
-			sel = append(sel, c)
-		}
-	}
-	sort.Ints(sel)
-	return sel
+	return nil
 }
 
 // sweepSizes returns the doubling TVLA sweep grid {4, 8, 16, ...} capped

@@ -167,3 +167,88 @@ func mustSpec(t *testing.T, s string) Spec {
 	}
 	return sp
 }
+
+// TestSweepSizesContract pins the sweep-grid invariants the streaming
+// evaluator depends on: strictly ascending (sorted and unique, so the
+// single cursor in evaluateArm visits every point exactly once) and
+// always ending at exactly N (so the final snapshot lands on the full
+// budget).
+func TestSweepSizesContract(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{4, []int{4}},
+		{5, []int{4, 5}},
+		{8, []int{4, 8}},
+		{12, []int{4, 8, 12}},
+		{16, []int{4, 8, 16}},
+		{17, []int{4, 8, 16, 17}},
+		{64, []int{4, 8, 16, 32, 64}},
+		{100, []int{4, 8, 16, 32, 64, 100}},
+		{1024, []int{4, 8, 16, 32, 64, 128, 256, 512, 1024}},
+	}
+	for _, tc := range cases {
+		got := sweepSizes(tc.n)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("sweepSizes(%d) = %v, want %v", tc.n, got, tc.want)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Errorf("sweepSizes(%d) not strictly ascending at %d: %v", tc.n, i, got)
+			}
+		}
+		if got[len(got)-1] != tc.n {
+			t.Errorf("sweepSizes(%d) does not end at N: %v", tc.n, got)
+		}
+	}
+}
+
+// TestEvaluateSurfacesTruncation pins the attacker's-view geometry in
+// ArmResult: a baseline arm produces fixed-length traces (nothing
+// truncated), while a jitter arm produces variable-length traces whose
+// alignment to the shortest must be reported, not silently applied.
+func TestEvaluateSurfacesTruncation(t *testing.T) {
+	opts := quickEvalOptions(t, "jitter:rate=0.3,region=32")
+	r, err := Evaluate(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arm := range []ArmResult{r.Baseline, r.Defended} {
+		if arm.CPASamples <= 0 || arm.TVLASamples <= 0 {
+			t.Errorf("%s: sample geometry not reported: CPA %d, TVLA %d", arm.Name, arm.CPASamples, arm.TVLASamples)
+		}
+	}
+	if r.Baseline.CPATruncated != 0 || r.Baseline.TVLATruncated != 0 {
+		t.Errorf("baseline reports truncation on fixed-length traces: CPA %d, TVLA %d",
+			r.Baseline.CPATruncated, r.Baseline.TVLATruncated)
+	}
+	if r.Defended.CPATruncated <= 0 && r.Defended.TVLATruncated <= 0 {
+		t.Errorf("jitter arm reports no truncation anywhere: CPA %d, TVLA %d",
+			r.Defended.CPATruncated, r.Defended.TVLATruncated)
+	}
+}
+
+// TestCheckBudget pins the shared fail-fast guard used by withDefaults
+// and the serving layer: zero means "use the default" and passes, and
+// each floor rejects with a field-specific message.
+func TestCheckBudget(t *testing.T) {
+	cases := []struct {
+		tvla, cpa, step int
+		ok              bool
+	}{
+		{0, 0, 0, true},
+		{4, 12, 4, true},
+		{64, 512, 64, true},
+		{3, 0, 0, false},
+		{0, 11, 0, false},
+		{0, 0, 3, false},
+		{-1, 0, 0, false},
+	}
+	for _, tc := range cases {
+		err := CheckBudget(tc.tvla, tc.cpa, tc.step)
+		if (err == nil) != tc.ok {
+			t.Errorf("CheckBudget(%d, %d, %d) err=%v, want ok=%v", tc.tvla, tc.cpa, tc.step, err, tc.ok)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"emsim/internal/leakage"
+	"emsim/internal/stats"
+)
+
+// This file measures the attack-analytics sweep itself: the cost of
+// producing a TVLA detection curve and a CPA key-rank curve over a
+// campaign of N traces, comparing the buffered-recompute formulation
+// (keep every trace, recompute the statistic from scratch at each sweep
+// point — O(N²) work, O(N·samples) resident memory) against the
+// streaming accumulators (fold each trace once, snapshot at each sweep
+// point — O(N) work, O(guesses·samples) state). It backs the
+// "attack-sweep performance" section of EXPERIMENTS.md. Traces are
+// synthetic (a planted first-order leak under Gaussian noise): the study
+// isolates analytics cost, not simulation cost.
+
+// Attack-sweep study geometry: enough columns and candidates for the
+// sweep cost to dominate bookkeeping, small enough that the largest rung
+// stays in seconds.
+const (
+	attackSweepWidth   = 64 // sample points per trace
+	attackSweepGuesses = 64 // key candidates
+	attackSweepStep    = 64 // sweep-point spacing (traces)
+)
+
+// AttackSweepPoint is one rung of the campaign-size ladder.
+type AttackSweepPoint struct {
+	Traces         int
+	BufferedTime   time.Duration
+	StreamingTime  time.Duration
+	BufferedBytes  uint64 // heap allocated during the buffered sweep
+	StreamingBytes uint64 // heap allocated during the streaming sweep
+	Speedup        float64
+	MemRatio       float64
+}
+
+// AttackSweepResult is the study outcome.
+type AttackSweepResult struct {
+	Points []AttackSweepPoint
+	// Match reports whether both formulations agreed on the final
+	// statistic (best guess and TVLA verdict) at every rung — the
+	// streaming path's equivalence contract.
+	Match bool
+}
+
+// attackSweepData builds the synthetic campaign: n TVLA pairs and n CPA
+// traces with a leak planted at one column for one candidate, everything
+// else Gaussian noise.
+func attackSweepData(n int) (fixed, random, traces, hyp [][]float64) {
+	rng := rand.New(rand.NewSource(7))
+	leakCol, leakGuess := attackSweepWidth/3, 5
+	fixed = make([][]float64, n)
+	random = make([][]float64, n)
+	traces = make([][]float64, n)
+	hyp = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		f := make([]float64, attackSweepWidth)
+		r := make([]float64, attackSweepWidth)
+		tr := make([]float64, attackSweepWidth)
+		h := make([]float64, attackSweepGuesses)
+		for c := range f {
+			f[c] = rng.NormFloat64()
+			r[c] = rng.NormFloat64()
+			tr[c] = rng.NormFloat64()
+		}
+		f[leakCol] += 0.8 // fixed-group bias: the TVLA leak
+		for g := range h {
+			h[g] = float64(rng.Intn(9)) // Hamming-weight-like predictions
+		}
+		tr[leakCol] += 0.5 * h[leakGuess] // the CPA leak
+		fixed[i], random[i], traces[i], hyp[i] = f, r, tr, h
+	}
+	return fixed, random, traces, hyp
+}
+
+// heapDelta runs fn and returns its wall time and the heap bytes it
+// allocated (TotalAlloc delta; GC'd first so rungs don't bleed into each
+// other).
+func heapDelta(fn func() error) (time.Duration, uint64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.TotalAlloc - before.TotalAlloc, err
+}
+
+// bufferedAttackSweep is the pre-streaming formulation kept as the
+// study's baseline: every incoming trace is retained (copied into the
+// growing campaign buffer, as the old evaluator did) and each sweep
+// point recomputes the full statistic over the prefix.
+func bufferedAttackSweep(fixed, random, traces, hyp [][]float64) (float64, int, error) {
+	n := len(traces)
+	bufF := make([][]float64, 0, n)
+	bufR := make([][]float64, 0, n)
+	bufT := make([][]float64, 0, n)
+	bufH := make([][]float64, 0, n)
+	maxAbs, best := 0.0, 0
+	for i := 0; i < n; i++ {
+		bufF = append(bufF, append([]float64(nil), fixed[i]...))
+		bufR = append(bufR, append([]float64(nil), random[i]...))
+		bufT = append(bufT, append([]float64(nil), traces[i]...))
+		bufH = append(bufH, append([]float64(nil), hyp[i]...))
+		if (i+1)%attackSweepStep != 0 {
+			continue
+		}
+		tt, err := stats.TVLATrace(bufF, bufR)
+		if err != nil {
+			return 0, 0, err
+		}
+		maxAbs = 0
+		for _, v := range tt {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		cr, err := leakage.CPA(bufT, bufH)
+		if err != nil {
+			return 0, 0, err
+		}
+		best = cr.BestGuess
+	}
+	return maxAbs, best, nil
+}
+
+// streamingAttackSweep folds each trace into the accumulators once and
+// snapshots at the same sweep points; no trace survives its iteration.
+func streamingAttackSweep(fixed, random, traces, hyp [][]float64) (float64, int, error) {
+	n := len(traces)
+	tv := leakage.NewTVLAStream()
+	cpa := leakage.NewCPAStream(attackSweepGuesses, 0, 0)
+	maxAbs, best := 0.0, 0
+	for i := 0; i < n; i++ {
+		if err := tv.AddFixed(fixed[i]); err != nil {
+			return 0, 0, err
+		}
+		if err := tv.AddRandom(random[i]); err != nil {
+			return 0, 0, err
+		}
+		if err := cpa.Add(traces[i], hyp[i]); err != nil {
+			return 0, 0, err
+		}
+		if (i+1)%attackSweepStep != 0 {
+			continue
+		}
+		var err error
+		maxAbs, err = tv.MaxAbsT()
+		if err != nil {
+			return 0, 0, err
+		}
+		cr, err := cpa.Snapshot()
+		if err != nil {
+			return 0, 0, err
+		}
+		best = cr.BestGuess
+	}
+	return maxAbs, best, nil
+}
+
+// AttackSweepStudy runs both formulations at each campaign size and
+// reports wall time, allocation volume, and the final-statistic
+// equivalence. With no explicit sizes it runs the 256/1024/4096 ladder.
+func AttackSweepStudy(sizes ...int) (*AttackSweepResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{256, 1024, 4096}
+	}
+	res := &AttackSweepResult{Match: true}
+	for _, n := range sizes {
+		fixed, random, traces, hyp := attackSweepData(n)
+		var bT, sT float64
+		var bG, sG int
+		bufTime, bufBytes, err := heapDelta(func() error {
+			var e error
+			bT, bG, e = bufferedAttackSweep(fixed, random, traces, hyp)
+			return e
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: buffered sweep at %d traces: %w", n, err)
+		}
+		strTime, strBytes, err := heapDelta(func() error {
+			var e error
+			sT, sG, e = streamingAttackSweep(fixed, random, traces, hyp)
+			return e
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: streaming sweep at %d traces: %w", n, err)
+		}
+		if bG != sG || !stats.ApproxEqual(bT, sT, 1e-6) {
+			res.Match = false
+		}
+		pt := AttackSweepPoint{
+			Traces:         n,
+			BufferedTime:   bufTime,
+			StreamingTime:  strTime,
+			BufferedBytes:  bufBytes,
+			StreamingBytes: strBytes,
+		}
+		if strTime > 0 {
+			pt.Speedup = float64(bufTime) / float64(strTime)
+		}
+		if strBytes > 0 {
+			pt.MemRatio = float64(bufBytes) / float64(strBytes)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+func (r *AttackSweepResult) String() string {
+	rows := make([][]string, len(r.Points))
+	for i, pt := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", pt.Traces),
+			pt.BufferedTime.Round(time.Microsecond).String(),
+			pt.StreamingTime.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1f", float64(pt.BufferedBytes)/(1<<20)),
+			fmt.Sprintf("%.2f", float64(pt.StreamingBytes)/(1<<20)),
+			fmt.Sprintf("%.1fx", pt.Speedup),
+			fmt.Sprintf("%.0fx", pt.MemRatio),
+		}
+	}
+	same := "yes"
+	if !r.Match {
+		same = "NO — equivalence contract violated"
+	}
+	return "attack-sweep analytics (TVLA + CPA curves, buffered recompute vs streaming accumulators)\n" +
+		table([]string{"traces", "buffered", "streaming", "buf-MB", "str-MB", "speedup", "mem"}, rows) +
+		fmt.Sprintf("final statistics identical: %s\n", same)
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestAttackSweepStudy runs a small ladder and checks the study's two
+// contracts: both formulations agree on the final statistic, and the
+// streaming side never allocates more than the buffered side.
+func TestAttackSweepStudy(t *testing.T) {
+	r, err := AttackSweepStudy(128, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Match {
+		t.Error("buffered and streaming sweeps disagree on the final statistic")
+	}
+	if len(r.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(r.Points))
+	}
+	for _, pt := range r.Points {
+		if pt.StreamingBytes >= pt.BufferedBytes {
+			t.Errorf("traces=%d: streaming allocated %d B, buffered %d B; streaming should be smaller",
+				pt.Traces, pt.StreamingBytes, pt.BufferedBytes)
+		}
+		if pt.BufferedTime <= 0 || pt.StreamingTime <= 0 {
+			t.Errorf("traces=%d: non-positive timings %v / %v", pt.Traces, pt.BufferedTime, pt.StreamingTime)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty study rendering")
+	}
+}

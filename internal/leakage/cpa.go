@@ -60,6 +60,10 @@ func (r *CPAResult) Margin() float64 {
 // samples contribute zero correlation; when every column on either side
 // is constant there is nothing to correlate and CPA returns an error
 // rather than an all-zero (and meaningless) ranking.
+//
+// CPA is a thin wrapper over CPAStream (one Add per trace, one
+// Snapshot); the two-pass formulation survives as the test-only
+// reference the equivalence fuzz target checks the stream against.
 func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 	n := len(traces)
 	if n < 3 || n != len(hypotheses) {
@@ -80,87 +84,13 @@ func CPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, error) {
 			return nil, fmt.Errorf("leakage: ragged hypotheses")
 		}
 	}
-
-	// Pre-center the hypotheses per candidate.
-	hMean := make([]float64, nGuess)
-	for _, h := range hypotheses {
-		for g, v := range h {
-			hMean[g] += v
+	s := NewCPAStream(nGuess, 0, 0)
+	for i := range traces {
+		if err := s.Add(traces[i], hypotheses[i]); err != nil {
+			return nil, err
 		}
 	}
-	for g := range hMean {
-		hMean[g] /= float64(n)
-	}
-	hc := make([][]float64, n) // centered, indexed [trace][guess]
-	hVar := make([]float64, nGuess)
-	for t, h := range hypotheses {
-		row := make([]float64, nGuess)
-		for g, v := range h {
-			d := v - hMean[g]
-			row[g] = d
-			hVar[g] += d * d
-		}
-		hc[t] = row
-	}
-	liveGuess := false
-	for _, v := range hVar {
-		if v != 0 {
-			liveGuess = true
-			break
-		}
-	}
-	if !liveGuess {
-		return nil, fmt.Errorf("leakage: every hypothesis column is constant; nothing to correlate")
-	}
-
-	res := &CPAResult{
-		PeakCorr: make([]float64, nGuess),
-		PeakAt:   make([]int, nGuess),
-	}
-	col := make([]float64, n)
-	liveSamples := 0
-	for s := 0; s < width; s++ {
-		mean := 0.0
-		for t := 0; t < n; t++ {
-			col[t] = traces[t][s]
-			mean += col[t]
-		}
-		mean /= float64(n)
-		sVar := 0.0
-		for t := 0; t < n; t++ {
-			col[t] -= mean
-			sVar += col[t] * col[t]
-		}
-		if sVar == 0 {
-			continue
-		}
-		liveSamples++
-		for g := 0; g < nGuess; g++ {
-			if hVar[g] == 0 {
-				continue
-			}
-			dot := 0.0
-			for t := 0; t < n; t++ {
-				dot += col[t] * hc[t][g]
-			}
-			corr := math.Abs(dot) / math.Sqrt(sVar*hVar[g])
-			if corr > res.PeakCorr[g] {
-				res.PeakCorr[g] = corr
-				res.PeakAt[g] = s
-			}
-		}
-	}
-	if liveSamples == 0 {
-		return nil, fmt.Errorf("leakage: every trace column is constant; no signal to correlate")
-	}
-	best := 0
-	for g, c := range res.PeakCorr {
-		if c > res.PeakCorr[best] {
-			best = g
-		}
-	}
-	res.BestGuess = best
-	return res, nil
+	return s.Snapshot()
 }
 
 // HammingWeight returns the number of set bits in v — the standard CPA

@@ -75,12 +75,16 @@ type TVLAResult struct {
 // fixed input and tracesPerGroup traces with fresh random inputs, then a
 // per-sample Welch t-test. Traces whose lengths differ (data-dependent
 // cache timing) are truncated to the shortest.
+//
+// TVLA is a thin wrapper over TVLAStream — each trace is folded into the
+// streaming accumulator the moment the source returns it and never
+// buffered; equivalence with the two-pass stats.TVLATrace is pinned by
+// tests and the FuzzStreamEquivalence target.
 func TVLA(src TraceSource, fixed [16]byte, rng *rand.Rand, tracesPerGroup int) (*TVLAResult, error) {
 	if tracesPerGroup < 2 {
 		return nil, fmt.Errorf("leakage: TVLA needs >= 2 traces per group (got %d)", tracesPerGroup)
 	}
-	var fixedGrp, randGrp [][]float64
-	minLen := -1
+	st := NewTVLAStream()
 	for i := 0; i < tracesPerGroup; i++ {
 		tf, err := src(fixed)
 		if err != nil {
@@ -92,32 +96,17 @@ func TVLA(src TraceSource, fixed [16]byte, rng *rand.Rand, tracesPerGroup int) (
 		if err != nil {
 			return nil, fmt.Errorf("leakage: random trace %d: %w", i, err)
 		}
-		fixedGrp = append(fixedGrp, tf)
-		randGrp = append(randGrp, tr)
-		for _, t := range [][]float64{tf, tr} {
-			if minLen < 0 || len(t) < minLen {
-				minLen = len(t)
-			}
+		if err := st.AddFixed(tf); err != nil {
+			return nil, err
+		}
+		if err := st.AddRandom(tr); err != nil {
+			return nil, err
 		}
 	}
-	if minLen < 1 {
+	if st.Samples() == 0 {
 		return nil, fmt.Errorf("leakage: empty traces")
 	}
-	for i := range fixedGrp {
-		fixedGrp[i] = fixedGrp[i][:minLen]
-		randGrp[i] = randGrp[i][:minLen]
-	}
-	tvals, err := stats.TVLATrace(fixedGrp, randGrp)
-	if err != nil {
-		return nil, err
-	}
-	res := &TVLAResult{T: tvals, LeakyPoints: stats.TVLALeakyPoints(tvals), Traces: tracesPerGroup}
-	for _, v := range tvals {
-		if a := abs(v); a > res.MaxAbsT {
-			res.MaxAbsT = a
-		}
-	}
-	return res, nil
+	return st.Snapshot()
 }
 
 func abs(v float64) float64 {

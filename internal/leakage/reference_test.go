@@ -1,0 +1,122 @@
+package leakage
+
+import (
+	"fmt"
+	"math"
+)
+
+// referenceCPA is the original two-pass CPA formulation (exact-mean
+// centering, full recompute), kept verbatim as the oracle the streaming
+// path is fuzzed against. Besides the ranking it returns the full
+// per-guess × per-column |correlation| matrix so the fuzz target can
+// validate the stream's peak *positions* under floating-point ties —
+// two columns can be equal in exact arithmetic yet round differently in
+// the two formulations, so position equivalence means "the chosen
+// column achieves the peak", not "the same index wins".
+func referenceCPA(traces [][]float64, hypotheses [][]float64) (*CPAResult, [][]float64, error) {
+	n := len(traces)
+	if n < 3 || n != len(hypotheses) {
+		return nil, nil, fmt.Errorf("leakage: CPA needs >= 3 matching traces/hypotheses (%d, %d)", n, len(hypotheses))
+	}
+	width := len(traces[0])
+	for _, tr := range traces {
+		if len(tr) != width {
+			return nil, nil, fmt.Errorf("leakage: ragged traces")
+		}
+	}
+	nGuess := len(hypotheses[0])
+	if nGuess == 0 {
+		return nil, nil, fmt.Errorf("leakage: no candidates")
+	}
+	for _, h := range hypotheses {
+		if len(h) != nGuess {
+			return nil, nil, fmt.Errorf("leakage: ragged hypotheses")
+		}
+	}
+
+	// Pre-center the hypotheses per candidate.
+	hMean := make([]float64, nGuess)
+	for _, h := range hypotheses {
+		for g, v := range h {
+			hMean[g] += v
+		}
+	}
+	for g := range hMean {
+		hMean[g] /= float64(n)
+	}
+	hc := make([][]float64, n) // centered, indexed [trace][guess]
+	hVar := make([]float64, nGuess)
+	for t, h := range hypotheses {
+		row := make([]float64, nGuess)
+		for g, v := range h {
+			d := v - hMean[g]
+			row[g] = d
+			hVar[g] += d * d
+		}
+		hc[t] = row
+	}
+	liveGuess := false
+	for _, v := range hVar {
+		if v != 0 {
+			liveGuess = true
+			break
+		}
+	}
+	if !liveGuess {
+		return nil, nil, fmt.Errorf("leakage: every hypothesis column is constant; nothing to correlate")
+	}
+
+	res := &CPAResult{
+		PeakCorr: make([]float64, nGuess),
+		PeakAt:   make([]int, nGuess),
+	}
+	corr := make([][]float64, nGuess)
+	for g := range corr {
+		corr[g] = make([]float64, width)
+	}
+	col := make([]float64, n)
+	liveSamples := 0
+	for s := 0; s < width; s++ {
+		mean := 0.0
+		for t := 0; t < n; t++ {
+			col[t] = traces[t][s]
+			mean += col[t]
+		}
+		mean /= float64(n)
+		sVar := 0.0
+		for t := 0; t < n; t++ {
+			col[t] -= mean
+			sVar += col[t] * col[t]
+		}
+		if sVar == 0 {
+			continue
+		}
+		liveSamples++
+		for g := 0; g < nGuess; g++ {
+			if hVar[g] == 0 {
+				continue
+			}
+			dot := 0.0
+			for t := 0; t < n; t++ {
+				dot += col[t] * hc[t][g]
+			}
+			c := math.Abs(dot) / math.Sqrt(sVar*hVar[g])
+			corr[g][s] = c
+			if c > res.PeakCorr[g] {
+				res.PeakCorr[g] = c
+				res.PeakAt[g] = s
+			}
+		}
+	}
+	if liveSamples == 0 {
+		return nil, nil, fmt.Errorf("leakage: every trace column is constant; no signal to correlate")
+	}
+	best := 0
+	for g, c := range res.PeakCorr {
+		if c > res.PeakCorr[best] {
+			best = g
+		}
+	}
+	res.BestGuess = best
+	return res, corr, nil
+}

@@ -1,0 +1,339 @@
+package leakage
+
+import (
+	"fmt"
+	"sort"
+
+	"emsim/internal/stats"
+)
+
+// Streaming leakage assessments. The batch TVLA/CPA entry points buffer
+// every trace and recompute the statistic from scratch at each point of
+// a sweep; the stream variants below fold each trace into constant-size
+// accumulator state (internal/stats) the moment it is produced, so a
+// min-traces-to-detection or traces-to-disclosure sweep is a single
+// pass over the campaign: O(N) analysis work and O(poi×guesses) memory
+// instead of O(N²) and O(N×samples). The batch entry points are thin
+// wrappers over these streams; equivalence is pinned by tests and the
+// FuzzStreamEquivalence target.
+
+// TVLAStream is an incremental fixed-vs-random assessment: feed traces
+// as they are captured and snapshot the t statistics at any prefix.
+// Variable-length traces follow the batch rule — the live width is the
+// shortest trace seen so far.
+type TVLAStream struct {
+	acc *stats.WelchAccumulator
+	t   []float64 // snapshot scratch, reused across MaxAbsT calls
+}
+
+// NewTVLAStream returns an empty assessment.
+func NewTVLAStream() *TVLAStream {
+	return &TVLAStream{acc: stats.NewWelchAccumulator()}
+}
+
+// AddFixed folds in one fixed-input trace.
+func (s *TVLAStream) AddFixed(trace []float64) error { return s.acc.Add(0, trace) }
+
+// AddRandom folds in one random-input trace.
+func (s *TVLAStream) AddRandom(trace []float64) error { return s.acc.Add(1, trace) }
+
+// Counts returns the traces folded into each group so far.
+func (s *TVLAStream) Counts() (fixed, random int) { return s.acc.Counts() }
+
+// Samples returns the live (post-truncation) sample count.
+func (s *TVLAStream) Samples() int { return s.acc.Samples() }
+
+// TruncatedSamples returns how many trailing samples the shortest-trace
+// rule has discarded from the longest trace seen.
+func (s *TVLAStream) TruncatedSamples() int { return s.acc.MaxSamples() - s.acc.Samples() }
+
+// MaxAbsT returns the current peak |t| — the cheap per-sweep-point
+// probe (no result allocation; NaN t values never win, matching the
+// batch rule that NaN samples are not leaks). Both groups need at least
+// two traces.
+func (s *TVLAStream) MaxAbsT() (float64, error) {
+	t, err := s.acc.TInto(s.t)
+	if err != nil {
+		return 0, err
+	}
+	s.t = t
+	peak := 0.0
+	for _, v := range t {
+		if a := abs(v); a > peak {
+			peak = a
+		}
+	}
+	return peak, nil
+}
+
+// Snapshot materializes the assessment at the current prefix. The
+// result owns its T slice; the stream can keep accumulating afterwards.
+func (s *TVLAStream) Snapshot() (*TVLAResult, error) {
+	t, err := s.acc.TInto(s.t)
+	if err != nil {
+		return nil, err
+	}
+	s.t = t
+	res := &TVLAResult{
+		T:           append([]float64(nil), t...),
+		LeakyPoints: stats.TVLALeakyPoints(t),
+	}
+	n0, n1 := s.acc.Counts()
+	if n1 < n0 {
+		res.Traces = n1
+	} else {
+		res.Traces = n0
+	}
+	for _, v := range t {
+		if a := abs(v); a > res.MaxAbsT {
+			res.MaxAbsT = a
+		}
+	}
+	return res, nil
+}
+
+// CPAStream is an incremental correlation attack: feed (trace,
+// hypothesis-row) pairs as they are produced and snapshot the candidate
+// ranking at any prefix.
+//
+// With points > 0 the stream reduces each trace to the points
+// highest-variance sample columns before accumulating — the
+// points-of-interest step the batch evaluation harness used to run over
+// the whole buffered campaign. A stream cannot see the future, so the
+// selection is made once, from the first pilot traces (they are
+// buffered, selected over, replayed, and released); this pilot-prefix
+// selection is the documented semantic difference from the old
+// whole-campaign selection. With points <= 0 every column is kept and
+// pilot is ignored.
+type CPAStream struct {
+	guesses int
+	points  int
+	pilotN  int
+
+	acc     *stats.CorrAccumulator
+	pilotTr [][]float64 // buffered pilot copies; nil once selection is done
+	pilotHy [][]float64
+	cols    []int     // selected original columns, ascending (points mode)
+	proj    []float64 // projection scratch
+	err     error     // sticky selection failure
+
+	n              int
+	minLen, maxLen int // raw trace lengths seen; minLen -1 before first
+
+	peak []float64 // snapshot scratch
+	at   []int
+}
+
+// NewCPAStream returns an empty attack over the given candidate count.
+// points is the points-of-interest budget (<= 0 keeps every column);
+// pilot is how many leading traces the selection is made from.
+func NewCPAStream(guesses, points, pilot int) *CPAStream {
+	s := &CPAStream{
+		guesses: guesses,
+		points:  points,
+		pilotN:  pilot,
+		acc:     stats.NewCorrAccumulator(guesses),
+		minLen:  -1,
+	}
+	if points <= 0 {
+		s.points = 0
+	}
+	return s
+}
+
+// Traces returns the pairs folded in so far.
+func (s *CPAStream) Traces() int { return s.n }
+
+// Samples returns the shortest raw trace length seen (the width a batch
+// analysis would truncate to), 0 before the first trace.
+func (s *CPAStream) Samples() int {
+	if s.minLen < 0 {
+		return 0
+	}
+	return s.minLen
+}
+
+// TruncatedSamples returns how many trailing samples the shortest-trace
+// rule has discarded from the longest raw trace seen.
+func (s *CPAStream) TruncatedSamples() int { return s.maxLen - s.Samples() }
+
+// Points returns the number of live analysis columns: the selected
+// points of interest once the pilot has resolved (0 while still
+// piloting), or the accumulator width in keep-everything mode.
+func (s *CPAStream) Points() int {
+	if s.points > 0 {
+		return len(s.cols)
+	}
+	return s.acc.Samples()
+}
+
+// Add folds one (trace, hypothesis-row) pair into the attack. hyp[g] is
+// candidate g's predicted leakage for this trace.
+func (s *CPAStream) Add(trace, hyp []float64) error {
+	if s.err != nil {
+		return s.err
+	}
+	if len(hyp) != s.guesses {
+		return fmt.Errorf("leakage: hypothesis row has %d candidates, want %d", len(hyp), s.guesses)
+	}
+	if s.minLen < 0 || len(trace) < s.minLen {
+		s.minLen = len(trace)
+	}
+	if len(trace) > s.maxLen {
+		s.maxLen = len(trace)
+	}
+	s.n++
+	if s.points <= 0 {
+		return s.acc.Add(trace, hyp)
+	}
+	if s.cols == nil {
+		// Still piloting: buffer a copy; select once the pilot is full.
+		s.pilotTr = append(s.pilotTr, append([]float64(nil), trace...))
+		s.pilotHy = append(s.pilotHy, append([]float64(nil), hyp...))
+		if len(s.pilotTr) >= s.pilotN {
+			return s.selectAndReplay()
+		}
+		return nil
+	}
+	return s.addProjected(trace, hyp)
+}
+
+// addProjected reduces trace to the selected columns and accumulates.
+func (s *CPAStream) addProjected(trace, hyp []float64) error {
+	// A short trace can no longer supply the trailing points of
+	// interest; drop them for good (cols is ascending, so this is the
+	// same shortest-trace truncation the accumulator applies in
+	// keep-everything mode).
+	for len(s.cols) > 0 && s.cols[len(s.cols)-1] >= len(trace) {
+		s.cols = s.cols[:len(s.cols)-1]
+	}
+	if cap(s.proj) < len(s.cols) {
+		s.proj = make([]float64, len(s.cols))
+	}
+	s.proj = s.proj[:len(s.cols)]
+	for k, c := range s.cols {
+		s.proj[k] = trace[c]
+	}
+	return s.acc.Add(s.proj, hyp)
+}
+
+// selectAndReplay picks the points of interest from the buffered pilot,
+// replays the pilot through the accumulator, and releases the buffers.
+func (s *CPAStream) selectAndReplay() error {
+	width := -1
+	for _, tr := range s.pilotTr {
+		if width < 0 || len(tr) < width {
+			width = len(tr)
+		}
+	}
+	for i, tr := range s.pilotTr {
+		s.pilotTr[i] = tr[:width]
+	}
+	s.cols = topVarianceColumns(s.pilotTr, s.points)
+	if len(s.cols) == 0 {
+		s.err = fmt.Errorf("leakage: every trace column is constant; no signal to correlate")
+		return s.err
+	}
+	for i := range s.pilotTr {
+		if err := s.addProjected(s.pilotTr[i], s.pilotHy[i]); err != nil {
+			return err
+		}
+	}
+	s.pilotTr, s.pilotHy = nil, nil
+	return nil
+}
+
+// Snapshot materializes the candidate ranking at the current prefix.
+// Needs at least three traces; a snapshot while the pilot buffer is
+// still filling finalizes the points-of-interest selection from the
+// traces seen so far. The stream can keep accumulating afterwards.
+func (s *CPAStream) Snapshot() (*CPAResult, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.n < 3 {
+		return nil, fmt.Errorf("leakage: CPA needs >= 3 traces (have %d)", s.n)
+	}
+	if s.pilotTr != nil {
+		if err := s.selectAndReplay(); err != nil {
+			return nil, err
+		}
+	}
+	if s.acc.LiveGuesses() == 0 {
+		return nil, fmt.Errorf("leakage: every hypothesis column is constant; nothing to correlate")
+	}
+	if s.acc.LiveColumns() == 0 {
+		return nil, fmt.Errorf("leakage: every trace column is constant; no signal to correlate")
+	}
+	if s.peak == nil {
+		s.peak = make([]float64, s.guesses)
+		s.at = make([]int, s.guesses)
+	}
+	if err := s.acc.PeaksInto(s.peak, s.at); err != nil {
+		return nil, err
+	}
+	res := &CPAResult{
+		PeakCorr: append([]float64(nil), s.peak...),
+		PeakAt:   make([]int, s.guesses),
+	}
+	for g := 0; g < s.guesses; g++ {
+		at := s.at[g]
+		if s.points > 0 && s.peak[g] > 0 {
+			at = s.cols[at] // map back to the original column index
+		}
+		res.PeakAt[g] = at
+	}
+	best := 0
+	for g, c := range res.PeakCorr {
+		if c > res.PeakCorr[best] {
+			best = g
+		}
+	}
+	res.BestGuess = best
+	return res, nil
+}
+
+// topVarianceColumns returns the indices of the k highest-variance
+// columns (ties broken by index, zero-variance columns excluded), in
+// ascending column order. All traces must share a length.
+func topVarianceColumns(traces [][]float64, k int) []int {
+	if len(traces) == 0 {
+		return nil
+	}
+	w := len(traces[0])
+	vars := make([]float64, w)
+	for c := 0; c < w; c++ {
+		mean := 0.0
+		for _, tr := range traces {
+			mean += tr[c]
+		}
+		mean /= float64(len(traces))
+		v := 0.0
+		for _, tr := range traces {
+			d := tr[c] - mean
+			v += d * d
+		}
+		vars[c] = v
+	}
+	idx := make([]int, w)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if vars[idx[a]] != vars[idx[b]] {
+			return vars[idx[a]] > vars[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > w {
+		k = w
+	}
+	sel := idx[:0:0]
+	for _, c := range idx[:k] {
+		if vars[c] > 0 {
+			sel = append(sel, c)
+		}
+	}
+	sort.Ints(sel)
+	return sel
+}

@@ -1,0 +1,437 @@
+package leakage
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"emsim/internal/stats"
+)
+
+// gridTraces builds deterministic traces on a dyadic grid (multiples of
+// 0.25) so batch/stream variance decisions never diverge on rounding.
+func gridTraces(seed int64, n, width int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		tr := make([]float64, width)
+		for c := range tr {
+			tr[c] = float64(rng.Intn(65)-32) * 0.25
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// approxCorr compares correlation magnitudes across the two
+// formulations: relative tolerance plus an absolute floor (|corr| <= 1,
+// so the floor is meaningful).
+func approxCorr(a, b float64) bool {
+	return stats.ApproxEqual(a, b, 1e-6) || math.Abs(a-b) <= 1e-9
+}
+
+// TestTVLAStreamMatchesBatch drives the same source through the batch
+// TVLA wrapper and a hand-stepped TVLAStream with intermediate
+// snapshots, checking the final results agree and the sweep probes stay
+// consistent with a two-pass TVLATrace at each prefix.
+func TestTVLAStreamMatchesBatch(t *testing.T) {
+	const groups = 10
+	fixedGrp := gridTraces(21, groups, 9)
+	randGrp := gridTraces(22, groups, 9)
+	st := NewTVLAStream()
+	for i := 0; i < groups; i++ {
+		if err := st.AddFixed(fixedGrp[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.AddRandom(randGrp[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 < 2 {
+			continue
+		}
+		peak, err := st.MaxAbsT()
+		if err != nil {
+			t.Fatalf("MaxAbsT at %d: %v", i+1, err)
+		}
+		want, err := stats.TVLATrace(fixedGrp[:i+1], randGrp[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPeak := 0.0
+		for _, v := range want {
+			if a := math.Abs(v); a > wantPeak {
+				wantPeak = a
+			}
+		}
+		if !approxCorr(peak, wantPeak) && !stats.ApproxEqual(peak, wantPeak, stats.DefaultRelTol) {
+			t.Fatalf("prefix %d: stream MaxAbsT %v, batch %v", i+1, peak, wantPeak)
+		}
+	}
+	res, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != groups {
+		t.Errorf("Traces = %d, want %d", res.Traces, groups)
+	}
+	if len(res.T) != 9 {
+		t.Errorf("t-trace width %d, want 9", len(res.T))
+	}
+	if f, r := st.Counts(); f != groups || r != groups {
+		t.Errorf("Counts = (%d, %d)", f, r)
+	}
+	if st.TruncatedSamples() != 0 {
+		t.Errorf("TruncatedSamples = %d on equal-length traces", st.TruncatedSamples())
+	}
+}
+
+// TestCPAStreamIdentityMatchesReference checks keep-everything streaming
+// against the two-pass reference at several prefixes.
+func TestCPAStreamIdentityMatchesReference(t *testing.T) {
+	const n, width, guesses = 40, 15, 6
+	traces := gridTraces(23, n, width)
+	hyps := gridTraces(24, n, guesses)
+	// Plant a leak so the ranking is meaningful.
+	for i := range traces {
+		traces[i][7] = hyps[i][2] * 0.5
+	}
+	s := NewCPAStream(guesses, 0, 0)
+	for i := 0; i < n; i++ {
+		if err := s.Add(traces[i], hyps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 < 3 || (i+1)%8 != 0 && i+1 != n {
+			continue
+		}
+		got, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot at %d: %v", i+1, err)
+		}
+		want, corr, err := referenceCPA(traces[:i+1], hyps[:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < guesses; g++ {
+			if !approxCorr(got.PeakCorr[g], want.PeakCorr[g]) {
+				t.Fatalf("prefix %d guess %d: stream peak %v, reference %v", i+1, g, got.PeakCorr[g], want.PeakCorr[g])
+			}
+			if got.PeakCorr[g] > 1e-6 && !approxCorr(corr[g][got.PeakAt[g]], want.PeakCorr[g]) {
+				t.Fatalf("prefix %d guess %d: stream peak position %d does not achieve the reference peak (%v vs %v)",
+					i+1, g, got.PeakAt[g], corr[g][got.PeakAt[g]], want.PeakCorr[g])
+			}
+		}
+		if got.BestGuess != want.BestGuess {
+			t.Fatalf("prefix %d: stream best %d, reference best %d", i+1, got.BestGuess, want.BestGuess)
+		}
+	}
+	if s.Traces() != n || s.Samples() != width || s.Points() != width {
+		t.Errorf("Traces/Samples/Points = %d/%d/%d", s.Traces(), s.Samples(), s.Points())
+	}
+}
+
+// TestCPAStreamPilotPoI pins the points-of-interest mode: the pilot
+// prefix selects the highest-variance columns, the replayed + streamed
+// result still recovers the planted leak, and PeakAt maps back to the
+// original column index.
+func TestCPAStreamPilotPoI(t *testing.T) {
+	const n, width, guesses, points, pilot = 48, 30, 4, 5, 12
+	traces := gridTraces(25, n, width)
+	hyps := gridTraces(26, n, guesses)
+	// Damp every column, then plant a strong leak at column 19 so the
+	// pilot's variance ranking must keep it.
+	for i := range traces {
+		for c := range traces[i] {
+			traces[i][c] *= 0.05
+		}
+		traces[i][19] = hyps[i][1] * 2
+	}
+	s := NewCPAStream(guesses, points, pilot)
+	for i := 0; i < n; i++ {
+		if err := s.Add(traces[i], hyps[i]); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 == pilot/2 && s.Points() != 0 {
+			t.Errorf("Points = %d while piloting, want 0", s.Points())
+		}
+	}
+	if s.Points() != points {
+		t.Errorf("Points = %d after pilot, want %d", s.Points(), points)
+	}
+	res, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestGuess != 1 {
+		t.Fatalf("best guess %d, want 1 (planted)", res.BestGuess)
+	}
+	if res.PeakAt[1] != 19 {
+		t.Errorf("peak at %d, want the original column 19", res.PeakAt[1])
+	}
+	if res.PeakCorr[1] < 0.95 {
+		t.Errorf("planted peak %v, want ~1", res.PeakCorr[1])
+	}
+}
+
+// TestCPAStreamAllConstantPilot pins the selection failure: a pilot of
+// constant traces has no signal, and the stream says so with the same
+// diagnostic the batch path uses.
+func TestCPAStreamAllConstantPilot(t *testing.T) {
+	s := NewCPAStream(2, 3, 4)
+	flat := []float64{1, 1, 1}
+	for i := 0; i < 3; i++ {
+		if err := s.Add(flat, []float64{float64(i), 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Snapshot()
+	if err == nil || !strings.Contains(err.Error(), "every trace column is constant") {
+		t.Fatalf("constant pilot error = %v", err)
+	}
+	// The failure is sticky: further Adds refuse too.
+	if err := s.Add(flat, []float64{9, 1}); err == nil {
+		t.Error("Add after selection failure succeeded")
+	}
+}
+
+// TestCPAStreamTruncation pins the shortest-trace rule in both modes: a
+// short trace narrows the live width (identity) or drops the trailing
+// points of interest it can no longer supply (points mode).
+func TestCPAStreamTruncation(t *testing.T) {
+	traces := gridTraces(27, 8, 20)
+	hyps := gridTraces(28, 8, 2)
+	t.Run("identity", func(t *testing.T) {
+		s := NewCPAStream(2, 0, 0)
+		for i := range traces {
+			tr := traces[i]
+			if i == 5 {
+				tr = tr[:11]
+			}
+			if err := s.Add(tr, hyps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Samples() != 11 || s.TruncatedSamples() != 9 {
+			t.Fatalf("Samples/Truncated = %d/%d, want 11/9", s.Samples(), s.TruncatedSamples())
+		}
+		res, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, at := range res.PeakAt {
+			if at >= 11 {
+				t.Errorf("guess %d peak at %d, beyond the truncated width", g, at)
+			}
+		}
+	})
+	t.Run("points", func(t *testing.T) {
+		s := NewCPAStream(2, 6, 4)
+		for i := range traces {
+			tr := traces[i]
+			if i == 6 {
+				tr = tr[:5] // shorter than some selected columns
+			}
+			if err := s.Add(tr, hyps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.Points() > 6 {
+			t.Fatalf("Points = %d, want <= 6", s.Points())
+		}
+		res, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, at := range res.PeakAt {
+			if res.PeakCorr[g] > 0 && at >= 5 {
+				t.Errorf("guess %d peak at %d, beyond the surviving columns", g, at)
+			}
+		}
+	})
+}
+
+// TestCPATieBreaking pins deterministic tie handling end to end when
+// several guesses share the top correlation: duplicated hypothesis
+// columns produce bit-identical accumulator state, so the tie is exact.
+// The lowest guess index must win BestGuess, the tied guesses share
+// rank 0, and the margin collapses to 1 — through both the batch
+// wrapper and a hand-stepped stream.
+func TestCPATieBreaking(t *testing.T) {
+	const n = 16
+	traces := gridTraces(29, n, 6)
+	hyps := make([][]float64, n)
+	for i := range hyps {
+		v := traces[i][2] // guesses 1 and 3 both track column 2 exactly
+		hyps[i] = []float64{0.25, v, float64(i % 2), v}
+	}
+	check := func(t *testing.T, res *CPAResult) {
+		t.Helper()
+		if res.BestGuess != 1 {
+			t.Errorf("BestGuess = %d, want 1 (lowest tied index)", res.BestGuess)
+		}
+		if res.PeakCorr[1] != res.PeakCorr[3] {
+			t.Fatalf("tied peaks differ: %v vs %v", res.PeakCorr[1], res.PeakCorr[3])
+		}
+		if r := res.Rank(1); r != 0 {
+			t.Errorf("Rank(1) = %d, want 0", r)
+		}
+		if r := res.Rank(3); r != 0 {
+			t.Errorf("Rank(3) = %d, want 0 (ties do not outrank each other)", r)
+		}
+		if m := res.Margin(); m != 1 {
+			t.Errorf("Margin = %v, want exactly 1 on a shared top correlation", m)
+		}
+		if res.PeakAt[1] != res.PeakAt[3] {
+			t.Errorf("tied guesses peak at %d vs %d, want the same column", res.PeakAt[1], res.PeakAt[3])
+		}
+	}
+	t.Run("batch", func(t *testing.T) {
+		res, err := CPA(traces, hyps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res)
+	})
+	t.Run("stream", func(t *testing.T) {
+		s := NewCPAStream(4, 0, 0)
+		for i := range traces {
+			if err := s.Add(traces[i], hyps[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, res)
+	})
+}
+
+// TestCPAStreamErrors pins the stream-specific diagnostics.
+func TestCPAStreamErrors(t *testing.T) {
+	s := NewCPAStream(2, 0, 0)
+	if err := s.Add([]float64{1}, []float64{1, 2, 3}); err == nil || !strings.Contains(err.Error(), "hypothesis row has 3 candidates, want 2") {
+		t.Errorf("hyp mismatch error = %v", err)
+	}
+	if _, err := s.Snapshot(); err == nil || !strings.Contains(err.Error(), ">= 3 traces") {
+		t.Errorf("too-few error = %v", err)
+	}
+}
+
+// fuzzValue maps one fuzz byte onto the test value domain: mostly a
+// dyadic grid (multiples of 0.25, exactly representable, so batch and
+// stream constant/variance decisions cannot diverge on rounding) plus
+// NaN and ±Inf specials.
+func fuzzValue(b byte) float64 {
+	switch b {
+	case 255:
+		return math.NaN()
+	case 254:
+		return math.Inf(1)
+	case 253:
+		return math.Inf(-1)
+	default:
+		return float64(int(b%129)-64) * 0.25
+	}
+}
+
+// fuzzEqual is the equivalence comparator of FuzzStreamEquivalence:
+// ApproxEqual with an absolute floor for finite values; NaN matches
+// NaN, and any non-finite pair is accepted (streamed Inf/NaN arithmetic
+// can settle on a different non-finite than two-pass arithmetic, and
+// both mean "no usable statistic here").
+func fuzzEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return !(isFinite(a) || isFinite(b))
+	}
+	return stats.ApproxEqual(a, b, 1e-6) || math.Abs(a-b) <= 1e-9
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// FuzzStreamEquivalence proves the streaming accumulators match the
+// two-pass formulations on adversarial inputs: the same byte-derived
+// trace matrix (NaN/Inf-seeded) goes through stats.TVLATrace vs
+// TVLAStream and through the two-pass referenceCPA vs the streaming
+// CPA wrapper, and the results must agree within fuzzEqual.
+func FuzzStreamEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(6), uint8(4), uint8(3))
+	f.Add([]byte{255, 0, 254, 9, 253, 17}, uint8(8), uint8(3), uint8(2))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7}, uint8(4), uint8(5), uint8(1))
+	f.Add([]byte{}, uint8(3), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, nb, wb, gb uint8) {
+		n := 3 + int(nb)%14 // 3..16 traces per side
+		width := 1 + int(wb)%10
+		guesses := 1 + int(gb)%6
+		next := func() float64 {
+			if len(data) == 0 {
+				return 0
+			}
+			v := fuzzValue(data[0])
+			data = append(data[1:], data[0]) // rotate so short inputs still fill
+			return v
+		}
+		matrix := func(rows, cols int) [][]float64 {
+			m := make([][]float64, rows)
+			for i := range m {
+				r := make([]float64, cols)
+				for c := range r {
+					r[c] = next()
+				}
+				m[i] = r
+			}
+			return m
+		}
+
+		// ---- TVLA: two-pass t trace vs streaming accumulator ----
+		fixed := matrix(n, width)
+		random := matrix(n, width)
+		want, wantErr := stats.TVLATrace(fixed, random)
+		st := NewTVLAStream()
+		for i := 0; i < n; i++ {
+			if err := st.AddFixed(fixed[i]); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.AddRandom(random[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, gotErr := st.Snapshot()
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("TVLA error mismatch: batch %v, stream %v", wantErr, gotErr)
+		}
+		if wantErr == nil {
+			if len(got.T) != len(want) {
+				t.Fatalf("TVLA width mismatch: stream %d, batch %d", len(got.T), len(want))
+			}
+			for c := range want {
+				if !fuzzEqual(got.T[c], want[c]) {
+					t.Fatalf("TVLA t[%d]: stream %v, batch %v", c, got.T[c], want[c])
+				}
+			}
+		}
+
+		// ---- CPA: two-pass reference vs streaming wrapper ----
+		traces := matrix(n, width)
+		hyps := matrix(n, guesses)
+		refRes, refCorr, refErr := referenceCPA(traces, hyps)
+		cpaRes, cpaErr := CPA(traces, hyps)
+		if (refErr == nil) != (cpaErr == nil) {
+			t.Fatalf("CPA error mismatch: reference %v, stream %v", refErr, cpaErr)
+		}
+		if refErr != nil {
+			return
+		}
+		for g := 0; g < guesses; g++ {
+			if !fuzzEqual(cpaRes.PeakCorr[g], refRes.PeakCorr[g]) {
+				t.Fatalf("CPA guess %d: stream peak %v, reference %v", g, cpaRes.PeakCorr[g], refRes.PeakCorr[g])
+			}
+			// Under exact ties the two formulations may pick different
+			// columns; the chosen column must still achieve the peak.
+			if cpaRes.PeakCorr[g] > 1e-6 && !fuzzEqual(refCorr[g][cpaRes.PeakAt[g]], refRes.PeakCorr[g]) {
+				t.Fatalf("CPA guess %d: stream position %d scores %v in the reference, peak is %v",
+					g, cpaRes.PeakAt[g], refCorr[g][cpaRes.PeakAt[g]], refRes.PeakCorr[g])
+			}
+		}
+	})
+}

@@ -67,6 +67,7 @@ type defendStatus struct {
 type defendJob struct {
 	id     string
 	cancel context.CancelFunc
+	met    *metrics
 
 	mu       sync.Mutex
 	state    string
@@ -87,11 +88,15 @@ type defendJob struct {
 func (j *defendJob) observe(arm string, done, total int) {
 	j.mu.Lock()
 	j.arm = arm
-	if done > j.armDone[arm] {
+	delta := done - j.armDone[arm]
+	if delta > 0 {
 		j.armDone[arm] = done
 	}
 	j.armTotal = total
 	j.mu.Unlock()
+	if delta > 0 && j.met != nil { // met is nil only in unit tests building bare jobs
+		j.met.defendTraces.Add(int64(delta))
+	}
 }
 
 func (j *defendJob) setRunning() {
@@ -203,6 +208,7 @@ func (dr *defendRegistry) submit(opts defend.Options) (*defendJob, error) {
 	j := &defendJob{
 		id:      fmt.Sprintf("defend-%d", dr.nextID),
 		cancel:  cancel,
+		met:     dr.met,
 		state:   defendQueued,
 		armDone: map[string]int{},
 	}
@@ -323,6 +329,12 @@ func (s *Server) handleDefendSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.TVLATraces > s.cfg.MaxDefendTraces || req.CPATraces > s.cfg.MaxDefendTraces {
 		writeError(w, http.StatusBadRequest, "trace budget exceeds limit %d", s.cfg.MaxDefendTraces)
+		return
+	}
+	// Reject undersized budgets at the API edge with the same guard the
+	// evaluator applies, instead of accepting the job and failing it.
+	if err := defend.CheckBudget(req.TVLATraces, req.CPATraces, req.CPAStep); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 

@@ -102,6 +102,13 @@ type metrics struct {
 	defendsFailed    *obs.Counter // defense-evaluation jobs that ended in error
 	defendsCancelled *obs.Counter // defense-evaluation jobs cancelled by the client or drain
 
+	tvlaTraces   *obs.Counter // traces simulated by /v1/tvla assessments
+	defendTraces *obs.Counter // traces simulated by defense-evaluation campaigns
+	// tvlaAnalysis records the statistic-extraction (snapshot) phase of a
+	// /v1/tvla assessment — with streaming accumulators this is the only
+	// analysis cost left; simulation dominates the rest of the request.
+	tvlaAnalysis *obs.Histogram
+
 	vars expvar.Map
 }
 
@@ -130,6 +137,10 @@ func newMetrics(phases []string) *metrics {
 		defendsDone:      reg.Counter("emsim_defend_jobs_total", "finished defense-evaluation jobs by outcome", "state", "done"),
 		defendsFailed:    reg.Counter("emsim_defend_jobs_total", "", "state", "failed"),
 		defendsCancelled: reg.Counter("emsim_defend_jobs_total", "", "state", "cancelled"),
+
+		tvlaTraces:   reg.Counter("emsim_tvla_traces_total", "traces simulated by /v1/tvla assessments"),
+		defendTraces: reg.Counter("emsim_defend_traces_total", "traces simulated by defense-evaluation campaigns"),
+		tvlaAnalysis: reg.Histogram("emsim_tvla_analysis_seconds", "statistic-extraction time of a /v1/tvla assessment", nil),
 	}
 	m.reqLatency = make(map[string]*obs.Histogram, len(endpoints))
 	help := "request execution time on a worker, by endpoint"
@@ -167,6 +178,8 @@ func newMetrics(phases []string) *metrics {
 	m.vars.Set("defends_done", intVar(m.defendsDone))
 	m.vars.Set("defends_failed", intVar(m.defendsFailed))
 	m.vars.Set("defends_cancelled", intVar(m.defendsCancelled))
+	m.vars.Set("tvla_traces", intVar(m.tvlaTraces))
+	m.vars.Set("defend_traces", intVar(m.defendTraces))
 	return m
 }
 

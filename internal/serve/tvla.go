@@ -4,14 +4,21 @@ import (
 	"context"
 	"encoding/hex"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"net/http"
+	"time"
 
 	"emsim/internal/aes"
 	"emsim/internal/core"
 	"emsim/internal/leakage"
+	"emsim/internal/obs"
 )
+
+// spanTVLAAnalysis covers the statistic-extraction (snapshot) phase of a
+// /v1/tvla assessment, on a lane claimed per request.
+var spanTVLAAnalysis = obs.RegisterSpan("serve.tvla-analysis")
 
 // tvlaRequest is the /v1/tvla body: a fixed-vs-random leakage
 // assessment of AES-128 under the loaded model.
@@ -130,8 +137,42 @@ func (s *Server) handleTVLA(w http.ResponseWriter, r *http.Request) {
 				}
 				return sig, nil
 			}
+			// One pass: each trace folds into the stream's running moments
+			// and is discarded, so the campaign never buffers; the final
+			// statistic extraction is the only analysis cost and gets its
+			// own span + histogram. The RNG draw order matches leakage.TVLA
+			// exactly, so results are byte-identical to the batch wrapper.
+			rng := rand.New(rand.NewSource(seed))
+			st := leakage.NewTVLAStream()
+			for i := 0; i < req.TracesPerGroup; i++ {
+				tf, err := src(fixed)
+				if err != nil {
+					return cycles, fmt.Errorf("fixed trace %d: %w", i, err)
+				}
+				var input [16]byte
+				rng.Read(input[:])
+				tr, err := src(input)
+				if err != nil {
+					return cycles, fmt.Errorf("random trace %d: %w", i, err)
+				}
+				if err := st.AddFixed(tf); err != nil {
+					return cycles, err
+				}
+				if err := st.AddRandom(tr); err != nil {
+					return cycles, err
+				}
+				s.met.tvlaTraces.Add(2)
+			}
+			if st.Samples() == 0 {
+				return cycles, errors.New("empty traces")
+			}
+			lane := obs.NextLane()
+			start := time.Now()
+			obs.Begin(spanTVLAAnalysis, lane)
 			var err error
-			res, err = leakage.TVLA(src, fixed, rand.New(rand.NewSource(seed)), req.TracesPerGroup)
+			res, err = st.Snapshot()
+			obs.End(spanTVLAAnalysis, lane)
+			s.met.tvlaAnalysis.Observe(time.Since(start).Seconds())
 			return cycles, err
 		},
 	}

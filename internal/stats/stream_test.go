@@ -1,0 +1,394 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// streamTestTraces builds a deterministic group of traces on a dyadic
+// grid (multiples of 0.25), so batch and streaming variance decisions
+// can never diverge on borderline rounding.
+func streamTestTraces(seed int64, n, width int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		tr := make([]float64, width)
+		for c := range tr {
+			tr[c] = float64(rng.Intn(65)-32) * 0.25
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// approxT compares t statistics: relative tolerance for real effects,
+// with an absolute floor because streaming moments round differently
+// from two-pass sums, so "exactly 0" in batch can be ~1e-16 streamed —
+// and t is scale-free, so an absolute floor is meaningful.
+func approxT(a, b float64) bool {
+	return ApproxEqual(a, b, DefaultRelTol) || math.Abs(a-b) <= 1e-9
+}
+
+// TestWelchAccumulatorMatchesWelchT feeds interleaved traces into the
+// accumulator and checks the snapshot at several prefixes against the
+// two-pass TVLATrace over the same prefix.
+func TestWelchAccumulatorMatchesWelchT(t *testing.T) {
+	const width = 17
+	fixed := streamTestTraces(1, 24, width)
+	random := streamTestTraces(2, 24, width)
+	w := NewWelchAccumulator()
+	var snap []float64
+	for i := 0; i < 24; i++ {
+		if err := w.Add(0, fixed[i]); err != nil {
+			t.Fatalf("Add fixed %d: %v", i, err)
+		}
+		if err := w.Add(1, random[i]); err != nil {
+			t.Fatalf("Add random %d: %v", i, err)
+		}
+		g := i + 1
+		if g < 2 || g%4 != 0 && g != 24 {
+			continue
+		}
+		var err error
+		snap, err = w.TInto(snap)
+		if err != nil {
+			t.Fatalf("TInto at %d: %v", g, err)
+		}
+		want, err := TVLATrace(fixed[:g], random[:g])
+		if err != nil {
+			t.Fatalf("TVLATrace at %d: %v", g, err)
+		}
+		for c := range want {
+			if !approxT(snap[c], want[c]) {
+				t.Fatalf("prefix %d sample %d: stream t=%v, batch t=%v", g, c, snap[c], want[c])
+			}
+		}
+	}
+	if n0, n1 := w.Counts(); n0 != 24 || n1 != 24 {
+		t.Fatalf("Counts = (%d, %d), want (24, 24)", n0, n1)
+	}
+}
+
+// TestWelchAccumulatorDegenerateColumns checks the constant-column rules
+// survive streaming: equal constants give t=0, distinct constants ±Inf.
+func TestWelchAccumulatorDegenerateColumns(t *testing.T) {
+	w := NewWelchAccumulator()
+	for i := 0; i < 3; i++ {
+		if err := w.Add(0, []float64{1, 0, float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(1, []float64{1, 2, float64(-i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tv, err := w.TInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv[0] != 0 {
+		t.Errorf("t[0] = %v, want 0 (both groups constant 1)", tv[0])
+	}
+	if !math.IsInf(tv[1], -1) {
+		t.Errorf("t[1] = %v, want -Inf (constant 0 vs constant 2)", tv[1])
+	}
+	if math.IsInf(tv[2], 0) || math.IsNaN(tv[2]) {
+		t.Errorf("t[2] = %v, want finite", tv[2])
+	}
+}
+
+// TestWelchAccumulatorTruncation pins the shortest-trace-wins width rule:
+// a shorter trace retroactively narrows the live width, and the surviving
+// columns match a batch run over the pre-truncated matrix.
+func TestWelchAccumulatorTruncation(t *testing.T) {
+	fixed := streamTestTraces(3, 6, 10)
+	random := streamTestTraces(4, 6, 10)
+	random[3] = random[3][:7] // mid-stream shrink
+	w := NewWelchAccumulator()
+	for i := 0; i < 6; i++ {
+		if err := w.Add(0, fixed[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(1, random[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Samples() != 7 {
+		t.Fatalf("Samples = %d, want 7", w.Samples())
+	}
+	if w.MaxSamples() != 10 {
+		t.Fatalf("MaxSamples = %d, want 10", w.MaxSamples())
+	}
+	got, err := w.TInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := make([][]float64, 6)
+	tr := make([][]float64, 6)
+	for i := 0; i < 6; i++ {
+		tf[i] = fixed[i][:7]
+		tr[i] = random[i][:7]
+	}
+	want, err := TVLATrace(tf, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream width %d, batch width %d", len(got), len(want))
+	}
+	for c := range want {
+		if !approxT(got[c], want[c]) {
+			t.Fatalf("sample %d: stream t=%v, batch t=%v", c, got[c], want[c])
+		}
+	}
+}
+
+// TestWelchAccumulatorErrors pins the misuse diagnostics.
+func TestWelchAccumulatorErrors(t *testing.T) {
+	w := NewWelchAccumulator()
+	if err := w.Add(2, []float64{1}); err == nil || !strings.Contains(err.Error(), "group must be 0 or 1") {
+		t.Errorf("bad group error = %v", err)
+	}
+	if err := w.Add(-1, []float64{1}); err == nil {
+		t.Error("negative group accepted")
+	}
+	if _, err := w.TInto(nil); err == nil || !strings.Contains(err.Error(), ">= 2 traces per group (0, 0)") {
+		t.Errorf("empty snapshot error = %v", err)
+	}
+	if err := w.Add(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(0, []float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.TInto(nil); err == nil || !strings.Contains(err.Error(), "(2, 0)") {
+		t.Errorf("one-group snapshot error = %v", err)
+	}
+}
+
+// pearsonPeak is a naive two-pass reference: peak |Pearson correlation|
+// of hypothesis column g against every trace column, constant columns
+// skipped, strict > so the lowest column wins ties.
+func pearsonPeak(traces [][]float64, hyp []float64) (peak float64, at int) {
+	n := len(traces)
+	width := len(traces[0])
+	mh := Mean(hyp)
+	var sh float64
+	for _, h := range hyp {
+		sh += (h - mh) * (h - mh)
+	}
+	if sh == 0 {
+		return 0, 0
+	}
+	for col := 0; col < width; col++ {
+		mx, sx, sxy := 0.0, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			mx += traces[i][col]
+		}
+		mx /= float64(n)
+		for i := 0; i < n; i++ {
+			dx := traces[i][col] - mx
+			sx += dx * dx
+			sxy += dx * (hyp[i] - mh)
+		}
+		if sx == 0 {
+			continue
+		}
+		corr := math.Abs(sxy) / math.Sqrt(sx*sh)
+		if corr > peak {
+			peak, at = corr, col
+		}
+	}
+	return peak, at
+}
+
+// TestCorrAccumulatorMatchesPearson checks PeaksInto against the
+// two-pass reference at several prefixes, including a planted leak.
+func TestCorrAccumulatorMatchesPearson(t *testing.T) {
+	const guesses, width, n = 8, 12, 30
+	traces := streamTestTraces(5, n, width)
+	hyps := make([][]float64, n)
+	rng := rand.New(rand.NewSource(6))
+	for i := range hyps {
+		h := make([]float64, guesses)
+		for g := range h {
+			h[g] = float64(rng.Intn(9))
+		}
+		// Plant guess 3's prediction into column 5 so a real peak exists.
+		traces[i][5] = h[3] * 0.5
+		hyps[i] = h
+	}
+	acc := NewCorrAccumulator(guesses)
+	peak := make([]float64, guesses)
+	at := make([]int, guesses)
+	for i := 0; i < n; i++ {
+		if err := acc.Add(traces[i], hyps[i]); err != nil {
+			t.Fatalf("Add %d: %v", i, err)
+		}
+		if i+1 < 3 || (i+1)%10 != 0 {
+			continue
+		}
+		if err := acc.PeaksInto(peak, at); err != nil {
+			t.Fatalf("PeaksInto at %d: %v", i+1, err)
+		}
+		hcol := make([]float64, i+1)
+		for g := 0; g < guesses; g++ {
+			for j := 0; j <= i; j++ {
+				hcol[j] = hyps[j][g]
+			}
+			wantPeak, wantAt := pearsonPeak(traces[:i+1], hcol)
+			if !ApproxEqual(peak[g], wantPeak, 1e-6) {
+				t.Fatalf("prefix %d guess %d: stream peak %v, batch %v", i+1, g, peak[g], wantPeak)
+			}
+			if wantPeak > 0 && at[g] != wantAt {
+				t.Fatalf("prefix %d guess %d: stream at %d, batch at %d", i+1, g, at[g], wantAt)
+			}
+		}
+	}
+	if err := acc.PeaksInto(peak, at); err != nil {
+		t.Fatal(err)
+	}
+	if at[3] != 5 || peak[3] < 0.99 {
+		t.Fatalf("planted leak: guess 3 peak %v at %d, want ~1 at 5", peak[3], at[3])
+	}
+	if acc.Traces() != n || acc.Guesses() != guesses {
+		t.Fatalf("Traces/Guesses = %d/%d", acc.Traces(), acc.Guesses())
+	}
+}
+
+// TestCorrAccumulatorConstantHandling pins the dead-column/dead-guess
+// rules: constants score zero, and the live counts reflect variation.
+func TestCorrAccumulatorConstantHandling(t *testing.T) {
+	acc := NewCorrAccumulator(2)
+	for i := 0; i < 4; i++ {
+		// Column 0 constant, column 1 varies; guess 0 constant, guess 1
+		// tracks column 1 exactly.
+		v := float64(i)
+		if err := acc.Add([]float64{7, v}, []float64{3, v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.LiveColumns() != 1 {
+		t.Errorf("LiveColumns = %d, want 1", acc.LiveColumns())
+	}
+	if acc.LiveGuesses() != 1 {
+		t.Errorf("LiveGuesses = %d, want 1", acc.LiveGuesses())
+	}
+	peak := make([]float64, 2)
+	at := make([]int, 2)
+	if err := acc.PeaksInto(peak, at); err != nil {
+		t.Fatal(err)
+	}
+	if peak[0] != 0 {
+		t.Errorf("constant guess peak = %v, want 0", peak[0])
+	}
+	if !ApproxEqual(peak[1], 1, DefaultRelTol) || at[1] != 1 {
+		t.Errorf("tracking guess peak %v at %d, want 1 at 1", peak[1], at[1])
+	}
+}
+
+// TestCorrAccumulatorTruncation mirrors the Welch truncation pin.
+func TestCorrAccumulatorTruncation(t *testing.T) {
+	acc := NewCorrAccumulator(1)
+	traces := streamTestTraces(7, 5, 8)
+	traces[2] = traces[2][:5]
+	for i, tr := range traces {
+		if err := acc.Add(tr, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc.Samples() != 5 || acc.MaxSamples() != 8 {
+		t.Fatalf("Samples/MaxSamples = %d/%d, want 5/8", acc.Samples(), acc.MaxSamples())
+	}
+	peak := make([]float64, 1)
+	at := make([]int, 1)
+	if err := acc.PeaksInto(peak, at); err != nil {
+		t.Fatal(err)
+	}
+	if at[0] >= 5 {
+		t.Fatalf("peak column %d beyond the truncated width 5", at[0])
+	}
+}
+
+// TestCorrAccumulatorErrors pins the misuse diagnostics.
+func TestCorrAccumulatorErrors(t *testing.T) {
+	acc := NewCorrAccumulator(4)
+	if err := acc.Add([]float64{1}, []float64{1, 2}); err == nil || !strings.Contains(err.Error(), "hypothesis row") {
+		t.Errorf("hyp mismatch error = %v", err)
+	}
+	peak := make([]float64, 4)
+	at := make([]int, 4)
+	if err := acc.PeaksInto(peak, at); err == nil || !strings.Contains(err.Error(), ">= 3 traces (have 0)") {
+		t.Errorf("too-few error = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := acc.Add([]float64{float64(i)}, []float64{1, 2, 3, float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := acc.PeaksInto(peak[:2], at); err == nil || !strings.Contains(err.Error(), "dst length") {
+		t.Errorf("short dst error = %v", err)
+	}
+}
+
+// TestAccumulatorAddAllocs pins the streaming hot paths to zero
+// allocations per trace once the first Add has sized the state — the
+// AllocsPerRun side of the //emsim:noalloc contract.
+func TestAccumulatorAddAllocs(t *testing.T) {
+	trace := make([]float64, 64)
+	hyp := make([]float64, 16)
+	for i := range trace {
+		trace[i] = float64(i) * 0.5
+	}
+	for g := range hyp {
+		hyp[g] = float64(g)
+	}
+
+	w := NewWelchAccumulator()
+	if err := w.Add(0, trace); err != nil { // sizing Add, allowed to allocate
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := w.Add(0, trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Add(1, trace); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("WelchAccumulator.Add allocs/run = %v, want 0", got)
+	}
+
+	acc := NewCorrAccumulator(len(hyp))
+	if err := acc.Add(trace, hyp); err != nil { // sizing Add
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if err := acc.Add(trace, hyp); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("CorrAccumulator.Add allocs/run = %v, want 0", got)
+	}
+
+	// The snapshot paths reuse caller-provided storage too.
+	tv, err := w.TInto(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := make([]float64, len(hyp))
+	at := make([]int, len(hyp))
+	if got := testing.AllocsPerRun(100, func() {
+		var err error
+		tv, err = w.TInto(tv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.PeaksInto(peak, at); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("snapshot allocs/run = %v, want 0", got)
+	}
+}

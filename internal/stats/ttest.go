@@ -14,7 +14,14 @@ func WelchT(a, b []float64) (t float64, df float64, err error) {
 	}
 	ma, mb := Mean(a), Mean(b)
 	va, vb := Variance(a), Variance(b)
-	na, nb := float64(len(a)), float64(len(b))
+	t, df = welchFromMoments(ma, va, float64(len(a)), mb, vb, float64(len(b)))
+	return t, df, nil
+}
+
+// welchFromMoments is the Welch formula on already-computed group
+// moments — the shared core of the two-pass WelchT above and the
+// streaming WelchAccumulator snapshot.
+func welchFromMoments(ma, va, na, mb, vb, nb float64) (t, df float64) {
 	sa, sb := va/na, vb/nb
 	se := math.Sqrt(sa + sb)
 	// A numerically-constant group can carry a variance of a few ulp², so
@@ -25,9 +32,9 @@ func WelchT(a, b []float64) (t float64, df float64, err error) {
 	// against the means' magnitude.
 	if se <= 1e-12*math.Max(math.Abs(ma), math.Abs(mb)) {
 		if ApproxEqual(ma, mb, DefaultRelTol) {
-			return 0, na + nb - 2, nil
+			return 0, na + nb - 2
 		}
-		return math.Inf(sign(ma - mb)), na + nb - 2, nil
+		return math.Inf(sign(ma - mb)), na + nb - 2
 	}
 	t = (ma - mb) / se
 	num := (sa + sb) * (sa + sb)
@@ -36,7 +43,7 @@ func WelchT(a, b []float64) (t float64, df float64, err error) {
 	if den > 0 {
 		df = num / den
 	}
-	return t, df, nil
+	return t, df
 }
 
 func sign(x float64) int {
